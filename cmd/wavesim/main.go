@@ -1,0 +1,182 @@
+// Command wavesim is a netlist-driven circuit simulator: it reads a SPICE
+// deck and runs transient (serial or WavePipe-parallel), AC or DC-sweep
+// analysis, writing the results as CSV.
+//
+// Usage:
+//
+//	wavesim [-analysis tran] [-scheme combined] [-threads 4] [-tstop 1u]
+//	        [-probe out,in] [-method gear2] [-o out.csv] [-stats] deck.sp
+//	wavesim -analysis ac deck.sp     # uses the deck's .AC card
+//	wavesim -analysis dc deck.sp     # uses the deck's .DC card
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"wavepipe"
+	"wavepipe/internal/netlist"
+)
+
+func main() {
+	var (
+		analysisFlag = flag.String("analysis", "tran", "analysis: tran, ac, dc")
+		schemeFlag   = flag.String("scheme", "serial", "engine: serial, backward, forward, combined, finegrain")
+		threadsFlag  = flag.Int("threads", 0, "worker threads for parallel schemes (0 = scheme default)")
+		tstopFlag    = flag.String("tstop", "", "override the deck's .TRAN stop time (SPICE units, e.g. 10u)")
+		methodFlag   = flag.String("method", "gear2", "integration method: gear2, trap, be")
+		probeFlag    = flag.String("probe", "", "comma-separated node names to record (default: all nodes)")
+		intervalFlag = flag.String("interval", "", "resample transient output uniformly at this interval (e.g. 1u); default: the solver's own time points")
+		outFlag      = flag.String("o", "", "CSV output file (default: stdout)")
+		statsFlag    = flag.Bool("stats", false, "print run statistics to stderr")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: wavesim [flags] deck.sp")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if err := run(flag.Arg(0), *analysisFlag, *schemeFlag, *methodFlag, *tstopFlag, *probeFlag, *outFlag, *intervalFlag, *threadsFlag, *statsFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "wavesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(deckPath, analysis, schemeName, methodName, tstop, probes, outPath, interval string, threads int, stats bool) error {
+	src, err := os.ReadFile(deckPath)
+	if err != nil {
+		return err
+	}
+	deck, err := wavepipe.ParseDeck(string(src))
+	if err != nil {
+		return err
+	}
+	var record []string
+	if probes != "" {
+		record = strings.Split(probes, ",")
+	}
+	out := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+
+	switch strings.ToLower(analysis) {
+	case "ac":
+		res, err := wavepipe.RunDeckAC(deck, wavepipe.ACOptions{Record: record})
+		if err != nil {
+			return err
+		}
+		return writeAC(out, res)
+	case "dc":
+		w, err := wavepipe.RunDeckDC(deck, record)
+		if err != nil {
+			return err
+		}
+		return w.WriteCSV(out)
+	case "tran", "":
+		// handled below
+	default:
+		return fmt.Errorf("unknown analysis %q", analysis)
+	}
+
+	opts := wavepipe.TranOptions{Threads: threads}
+	switch strings.ToLower(schemeName) {
+	case "serial":
+		opts.Scheme = wavepipe.Serial
+	case "backward":
+		opts.Scheme = wavepipe.Backward
+	case "forward":
+		opts.Scheme = wavepipe.Forward
+	case "combined":
+		opts.Scheme = wavepipe.Combined
+	case "finegrain":
+		opts.Scheme = wavepipe.FineGrained
+	default:
+		return fmt.Errorf("unknown scheme %q", schemeName)
+	}
+	switch strings.ToLower(methodName) {
+	case "gear2", "":
+		opts.Method = wavepipe.Gear2
+	case "trap":
+		opts.Method = wavepipe.Trapezoidal
+	case "be":
+		opts.Method = wavepipe.BackwardEuler
+	default:
+		return fmt.Errorf("unknown method %q", methodName)
+	}
+	if tstop != "" {
+		v, err := netlist.ParseValue(tstop)
+		if err != nil {
+			return fmt.Errorf("bad -tstop: %w", err)
+		}
+		opts.TStop = v
+	}
+	opts.Record = record
+
+	start := time.Now()
+	res, err := wavepipe.RunDeck(deck, opts)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	w := res.W
+	if interval != "" {
+		dt, err := netlist.ParseValue(interval)
+		if err != nil {
+			return fmt.Errorf("bad -interval: %w", err)
+		}
+		if w, err = w.Resample(dt); err != nil {
+			return err
+		}
+	}
+	if err := w.WriteCSV(out); err != nil {
+		return err
+	}
+	if stats {
+		fmt.Fprintf(os.Stderr,
+			"wavesim: %s | scheme=%s points=%d stages=%d nr-iters=%d lte-rejects=%d discarded=%d wall=%s\n",
+			deck.Title, schemeName, res.Stats.Points, res.Stats.Stages,
+			res.Stats.NRIters, res.Stats.LTERejects, res.Stats.Discarded, wall.Round(time.Microsecond))
+	}
+	return nil
+}
+
+// writeAC renders an AC result as CSV: frequency, then magnitude (dB) and
+// phase (degrees) per signal.
+func writeAC(out *os.File, res *wavepipe.ACResult) error {
+	fmt.Fprint(out, "freq")
+	for _, n := range res.Names {
+		fmt.Fprintf(out, ",%s_db,%s_deg", n, n)
+	}
+	fmt.Fprintln(out)
+	cols := make([][]float64, 0, 2*len(res.Names))
+	for _, n := range res.Names {
+		db, err := res.MagDB(n)
+		if err != nil {
+			return err
+		}
+		ph, err := res.PhaseDeg(n)
+		if err != nil {
+			return err
+		}
+		cols = append(cols, db, ph)
+	}
+	for k, f := range res.Freqs {
+		fmt.Fprintf(out, "%.9g", f)
+		for _, col := range cols {
+			fmt.Fprintf(out, ",%.6g", col[k])
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDeck(t *testing.T, body string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "deck.sp")
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const simDeck = `wavesim test deck
+V1 in 0 DC 0 AC 1 SIN(0 1 100k)
+R1 in out 1k
+C1 out 0 1n
+.ac dec 5 1k 10meg
+.dc V1 0 1 0.5
+.tran 0.1u 30u
+.end
+`
+
+func runToFile(t *testing.T, analysis, scheme, deckPath string) string {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "out.csv")
+	if err := run(deckPath, analysis, scheme, "gear2", "", "out", out, "", 2, false); err != nil {
+		t.Fatalf("%s/%s: %v", analysis, scheme, err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestRunTransientAllSchemes(t *testing.T) {
+	deck := writeDeck(t, simDeck)
+	for _, scheme := range []string{"serial", "backward", "forward", "combined", "finegrain"} {
+		csv := runToFile(t, "tran", scheme, deck)
+		lines := strings.Split(strings.TrimSpace(csv), "\n")
+		if lines[0] != "time,out" {
+			t.Fatalf("%s: header %q", scheme, lines[0])
+		}
+		if len(lines) < 50 {
+			t.Fatalf("%s: only %d rows", scheme, len(lines))
+		}
+	}
+}
+
+func TestRunACAndDC(t *testing.T) {
+	deck := writeDeck(t, simDeck)
+	csv := runToFile(t, "ac", "serial", deck)
+	if !strings.HasPrefix(csv, "freq,out_db,out_deg") {
+		t.Fatalf("ac header: %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+	csv = runToFile(t, "dc", "serial", deck)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "time,out" || len(lines) != 4 {
+		t.Fatalf("dc output: %v", lines)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	deck := writeDeck(t, simDeck)
+	if err := run(deck, "tran", "bogus", "gear2", "", "", "", "", 0, false); err == nil {
+		t.Fatal("bad scheme must fail")
+	}
+	if err := run(deck, "bogus", "serial", "gear2", "", "", "", "", 0, false); err == nil {
+		t.Fatal("bad analysis must fail")
+	}
+	if err := run(deck, "tran", "serial", "bogus", "", "", "", "", 0, false); err == nil {
+		t.Fatal("bad method must fail")
+	}
+	if err := run(deck, "tran", "serial", "gear2", "zz", "", "", "", 0, false); err == nil {
+		t.Fatal("bad tstop must fail")
+	}
+	if err := run(deck, "tran", "serial", "gear2", "", "", "", "zz", 0, false); err == nil {
+		t.Fatal("bad interval must fail")
+	}
+	if err := run("/nonexistent.sp", "tran", "serial", "gear2", "", "", "", "", 0, false); err == nil {
+		t.Fatal("missing deck must fail")
+	}
+}
+
+func TestResampledOutput(t *testing.T) {
+	deck := writeDeck(t, simDeck)
+	out := filepath.Join(t.TempDir(), "o.csv")
+	if err := run(deck, "tran", "serial", "gear2", "10u", "out", out, "1u", 0, false); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out)
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 12 { // header + t=0,1u,...,10u inclusive
+		t.Fatalf("resampled rows = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[2], "1e-06,") {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+}
+
+func TestTstopOverrideAndMethods(t *testing.T) {
+	deck := writeDeck(t, simDeck)
+	out := filepath.Join(t.TempDir(), "o.csv")
+	for _, method := range []string{"gear2", "trap", "be"} {
+		if err := run(deck, "tran", "serial", method, "5u", "out", out, "", 0, true); err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		data, _ := os.ReadFile(out)
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		last := strings.SplitN(lines[len(lines)-1], ",", 2)[0]
+		if !strings.HasPrefix(last, "5e-06") && !strings.HasPrefix(last, "4.99") {
+			t.Fatalf("%s: tstop override not honoured, last t=%s", method, last)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// Worst-case analysis of a voltage reference: DC operating point, adjoint
+// sensitivity analysis (.SENS) ranking which components matter, and a
+// worst-case corner estimate from the normalized sensitivities.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"wavepipe"
+)
+
+func main() {
+	// A diode-stabilized reference: divider feeding a diode clamp.
+	c := wavepipe.NewCircuit("vref")
+	in := c.Node("in")
+	ref := c.Node("ref")
+	wavepipe.AddVSource(c, "VSUP", in, wavepipe.Ground, wavepipe.DC(12))
+	wavepipe.AddResistor(c, "R1", in, ref, 4.7e3)
+	wavepipe.AddResistor(c, "R2", ref, wavepipe.Ground, 10e3)
+	m := wavepipe.DefaultDiodeModel()
+	m.IS = 1e-12
+	wavepipe.AddDiode(c, "D1", ref, wavepipe.Ground, m, 1)
+	sys, err := c.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	op, err := wavepipe.RunOP(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("operating point: v(ref) = %.4f V\n\n", op["ref"])
+
+	sens, err := wavepipe.RunSens(sys, "ref")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(sens, func(i, j int) bool {
+		return math.Abs(sens[i].Normalized) > math.Abs(sens[j].Normalized)
+	})
+	fmt.Printf("%-8s %-6s %14s %18s\n", "device", "param", "dV/dp", "dV per +100% p")
+	for _, s := range sens {
+		fmt.Printf("%-8s %-6s %14.6g %18.6g\n", s.Device, s.Param, s.DVDp, s.Normalized)
+	}
+
+	// Worst-case estimate for ±5% resistors and ±2% supply, first order.
+	worst := 0.0
+	for _, s := range sens {
+		tol := 0.05
+		if s.Device == "VSUP" {
+			tol = 0.02
+		}
+		worst += math.Abs(s.Normalized) * tol
+	}
+	fmt.Printf("\nfirst-order worst case (±5%% R, ±2%% supply): ±%.2f mV\n", worst*1e3)
+}

@@ -1,0 +1,3 @@
+module wavepipe
+
+go 1.22

@@ -1,0 +1,60 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+)
+
+// TestParallelLoadMatchesSerial shards the device evaluation across
+// goroutines and verifies the reduced assembly is identical to the serial
+// one (the race detector inspects the sharing discipline when tests run
+// with -race).
+func TestParallelLoadMatchesSerial(t *testing.T) {
+	c := New("par")
+	a := c.Node("a")
+	b := c.Node("b")
+	// Enough stub devices that every shard gets a few; overlapping stamps
+	// exercise the reduction.
+	for i := 0; i < 37; i++ {
+		c.Add(&stubDevice{name: "S", p: a, n: b, g: float64(i%5) + 0.5})
+	}
+	sys, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := sys.NewWorkspace()
+	parallel := sys.NewWorkspace()
+	parallel.SetLoadWorkers(4)
+
+	x := make([]float64, sys.N)
+	for i := range x {
+		x[i] = float64(i) * 0.1
+	}
+	p := LoadParams{Alpha0: 1e3, SrcScale: 0.7, NodeGmin: 1e-6}
+	serial.Load(x, p)
+	parallel.Load(x, p)
+
+	for i := range serial.F {
+		if math.Abs(serial.F[i]-parallel.F[i]) > 1e-12 ||
+			math.Abs(serial.Q[i]-parallel.Q[i]) > 1e-18 ||
+			math.Abs(serial.B[i]-parallel.B[i]) > 1e-12 {
+			t.Fatalf("vector mismatch at %d", i)
+		}
+	}
+	for i := range serial.M.Values {
+		if math.Abs(serial.M.Values[i]-parallel.M.Values[i]) > 1e-12 {
+			t.Fatalf("matrix mismatch at slot %d: %g vs %g",
+				i, serial.M.Values[i], parallel.M.Values[i])
+		}
+	}
+	if serial.Limited != parallel.Limited {
+		t.Fatal("limited flag mismatch")
+	}
+	// More workers than devices degrades gracefully.
+	tiny := sys.NewWorkspace()
+	tiny.SetLoadWorkers(100)
+	tiny.Load(x, p)
+	if math.Abs(tiny.F[0]-serial.F[0]) > 1e-12 {
+		t.Fatal("over-sharded load mismatch")
+	}
+}

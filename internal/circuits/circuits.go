@@ -1,0 +1,423 @@
+// Package circuits generates the parameterized benchmark circuits used by
+// the evaluation: the synthetic equivalents of the analog and digital IC
+// testcases the WavePipe paper reports on (power-distribution meshes,
+// interconnect lines and trees, rectifiers, amplifiers, CMOS ring
+// oscillators and logic chains). Every generator returns an un-built
+// Circuit so callers can add probes before Build.
+package circuits
+
+import (
+	"fmt"
+
+	"wavepipe/internal/circuit"
+	"wavepipe/internal/device"
+)
+
+// PowerGridMesh builds an n×n RC mesh: every node has a resistor to its
+// right and lower neighbour, a decoupling capacitor to ground, and the four
+// corners tie to VDD through package resistors. A grid of pulsed current
+// sinks models switching logic blocks drawing current from the grid — the
+// classic power-integrity transient workload.
+func PowerGridMesh(n int, vdd float64) *circuit.Circuit {
+	ckt := circuit.New(fmt.Sprintf("powergrid-%dx%d", n, n))
+	name := func(i, j int) string { return fmt.Sprintf("n%d_%d", i, j) }
+	supply := ckt.Node("vdd")
+	ckt.Add(device.NewVSource("VDD", supply, circuit.Ground, device.DC(vdd)))
+	rSeg := 0.5    // mesh segment resistance
+	cNode := 1e-12 // per-node decap
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			nd := ckt.Node(name(i, j))
+			ckt.Add(device.NewCapacitor(fmt.Sprintf("C%d_%d", i, j), nd, circuit.Ground, cNode))
+			if j+1 < n {
+				ckt.Add(device.NewResistor(fmt.Sprintf("Rh%d_%d", i, j), nd, ckt.Node(name(i, j+1)), rSeg))
+			}
+			if i+1 < n {
+				ckt.Add(device.NewResistor(fmt.Sprintf("Rv%d_%d", i, j), nd, ckt.Node(name(i+1, j)), rSeg))
+			}
+		}
+	}
+	for k, corner := range []string{name(0, 0), name(0, n-1), name(n-1, 0), name(n-1, n-1)} {
+		nd, _ := ckt.FindNode(corner)
+		ckt.Add(device.NewResistor(fmt.Sprintf("Rpkg%d", k), supply, nd, 0.05))
+	}
+	// Switching current sinks on a sparse sub-grid. All sinks share one
+	// clock phase (one breakpoint set): the interesting transient content
+	// is the grid's multi-time-constant recovery between switching events,
+	// which is the LTE-limited tracking regime the paper's circuits live in.
+	stride := n / 4
+	if stride < 1 {
+		stride = 1
+	}
+	k := 0
+	for i := stride / 2; i < n; i += stride {
+		for j := stride / 2; j < n; j += stride {
+			nd, _ := ckt.FindNode(name(i, j))
+			ckt.Add(device.NewISource(fmt.Sprintf("Isw%d", k), nd, circuit.Ground, device.Pulse{
+				V1: 0, V2: 5e-3, Delay: 1e-9,
+				Rise: 0.5e-9, Fall: 0.5e-9, Width: 2e-9, Period: 8e-9,
+			}))
+			k++
+		}
+	}
+	return ckt
+}
+
+// RCLadder builds an N-segment RC transmission-line model driven by a ramp
+// source — the standard on-chip interconnect delay workload.
+func RCLadder(segments int) *circuit.Circuit {
+	ckt := circuit.New(fmt.Sprintf("rcladder-%d", segments))
+	in := ckt.Node("in")
+	ckt.Add(device.NewVSource("Vin", in, circuit.Ground, device.Pulse{
+		V1: 0, V2: 1, Delay: 0.5e-9, Rise: 0.5e-9, Fall: 0.5e-9, Width: 4e-9, Period: 10e-9,
+	}))
+	prev := in
+	for i := 1; i <= segments; i++ {
+		nd := ckt.Node(fmt.Sprintf("n%d", i))
+		ckt.Add(device.NewResistor(fmt.Sprintf("R%d", i), prev, nd, 10))
+		ckt.Add(device.NewCapacitor(fmt.Sprintf("C%d", i), nd, circuit.Ground, 20e-15))
+		prev = nd
+	}
+	// The far end is the observation node "out".
+	out := ckt.Node("out")
+	ckt.Add(device.NewResistor("Rout", prev, out, 10))
+	ckt.Add(device.NewCapacitor("Cout", out, circuit.Ground, 50e-15))
+	return ckt
+}
+
+// RLCTree builds a depth-level binary RLC clock-tree with matched segments,
+// driven by a pulsed source at the root. Inductance makes the response
+// ringy — a stiff oscillatory workload.
+func RLCTree(depth int) *circuit.Circuit {
+	ckt := circuit.New(fmt.Sprintf("rlctree-depth%d", depth))
+	root := ckt.Node("in")
+	ckt.Add(device.NewVSource("Vin", root, circuit.Ground, device.Pulse{
+		V1: 0, V2: 1, Delay: 0.3e-9, Rise: 0.2e-9, Fall: 0.2e-9, Width: 1.8e-9, Period: 4e-9,
+	}))
+	k := 0
+	var grow func(parent int, level int)
+	grow = func(parent int, level int) {
+		if level > depth {
+			return
+		}
+		for b := 0; b < 2; b++ {
+			k++
+			mid := ckt.Node(fmt.Sprintf("m%d", k))
+			leaf := ckt.Node(fmt.Sprintf("t%d", k))
+			ckt.Add(device.NewResistor(fmt.Sprintf("R%d", k), parent, mid, 5))
+			ckt.Add(device.NewInductor(fmt.Sprintf("L%d", k), mid, leaf, 0.5e-9))
+			ckt.Add(device.NewCapacitor(fmt.Sprintf("C%d", k), leaf, circuit.Ground, 10e-15))
+			grow(leaf, level+1)
+		}
+	}
+	grow(root, 1)
+	// Name one deepest leaf "out" for probing.
+	out := ckt.Node("out")
+	last, _ := ckt.FindNode(fmt.Sprintf("t%d", k))
+	ckt.Add(device.NewResistor("Rprobe", last, out, 1))
+	ckt.Add(device.NewCapacitor("Cprobe", out, circuit.Ground, 5e-15))
+	return ckt
+}
+
+// mosLib returns the NMOS/PMOS model pair used by the CMOS generators.
+func mosLib() (device.MOSModel, device.MOSModel) {
+	nm := device.DefaultMOSModel(device.NMOS)
+	pm := device.DefaultMOSModel(device.PMOS)
+	pm.KP = 45e-6 // hole mobility
+	return nm, pm
+}
+
+// addInverter wires a CMOS inverter (PMOS to vdd, NMOS to gnd) plus an
+// output load capacitor, returning nothing; nodes are passed in.
+func addInverter(ckt *circuit.Circuit, tag string, vdd, in, out int, load float64) {
+	nm, pm := mosLib()
+	ckt.Add(device.NewMOSFET("MP"+tag, out, in, vdd, vdd, pm, 2e-6, 0.5e-6))
+	ckt.Add(device.NewMOSFET("MN"+tag, out, in, circuit.Ground, circuit.Ground, nm, 1e-6, 0.5e-6))
+	ckt.Add(device.NewCapacitor("CL"+tag, out, circuit.Ground, load))
+}
+
+// RingOscillator builds a CMOS ring oscillator with the given odd number of
+// stages. A small current kick at stage 0 breaks the metastable operating
+// point so oscillation starts deterministically. Output node: "s0".
+func RingOscillator(stages int, vdd float64) *circuit.Circuit {
+	if stages%2 == 0 {
+		stages++
+	}
+	ckt := circuit.New(fmt.Sprintf("ringosc-%d", stages))
+	supply := ckt.Node("vdd")
+	ckt.Add(device.NewVSource("VDD", supply, circuit.Ground, device.DC(vdd)))
+	nodes := make([]int, stages)
+	for i := range nodes {
+		nodes[i] = ckt.Node(fmt.Sprintf("s%d", i))
+	}
+	for i := 0; i < stages; i++ {
+		addInverter(ckt, fmt.Sprintf("%d", i), supply, nodes[i], nodes[(i+1)%stages], 5e-15)
+	}
+	ckt.Add(device.NewISource("Ikick", nodes[0], circuit.Ground, device.Pulse{
+		V1: 0, V2: 50e-6, Delay: 0.05e-9, Rise: 0.05e-9, Width: 0.3e-9,
+	}))
+	return ckt
+}
+
+// InverterChain builds a pulsed driver feeding a chain of CMOS inverters —
+// the canonical digital switching workload. Output node: "out".
+func InverterChain(stages int, vdd float64) *circuit.Circuit {
+	ckt := circuit.New(fmt.Sprintf("invchain-%d", stages))
+	supply := ckt.Node("vdd")
+	ckt.Add(device.NewVSource("VDD", supply, circuit.Ground, device.DC(vdd)))
+	in := ckt.Node("in")
+	ckt.Add(device.NewVSource("Vin", in, circuit.Ground, device.Pulse{
+		V1: 0, V2: vdd, Delay: 0.2e-9, Rise: 0.1e-9, Fall: 0.1e-9, Width: 2e-9, Period: 5e-9,
+	}))
+	prev := in
+	for i := 1; i <= stages; i++ {
+		var out int
+		if i == stages {
+			out = ckt.Node("out")
+		} else {
+			out = ckt.Node(fmt.Sprintf("c%d", i))
+		}
+		addInverter(ckt, fmt.Sprintf("%d", i), supply, prev, out, 8e-15)
+		prev = out
+	}
+	return ckt
+}
+
+// InverterChainEKV is InverterChain built from EKV-model devices: the
+// smooth exponential model needs visibly more Newton iterations per time
+// point than Level-1 — the regime (BSIM-class models in the paper) where
+// forward pipelining's speculative overlap pays. Output node: "out".
+func InverterChainEKV(stages int, vdd float64) *circuit.Circuit {
+	ckt := circuit.New(fmt.Sprintf("invchain-ekv-%d", stages))
+	supply := ckt.Node("vdd")
+	ckt.Add(device.NewVSource("VDD", supply, circuit.Ground, device.DC(vdd)))
+	in := ckt.Node("in")
+	ckt.Add(device.NewVSource("Vin", in, circuit.Ground, device.Pulse{
+		V1: 0, V2: vdd, Delay: 0.2e-9, Rise: 0.1e-9, Fall: 0.1e-9, Width: 2e-9, Period: 5e-9,
+	}))
+	nm := device.DefaultEKVModel(device.NMOS)
+	pm := device.DefaultEKVModel(device.PMOS)
+	pm.KP = 45e-6
+	prev := in
+	for i := 1; i <= stages; i++ {
+		var out int
+		if i == stages {
+			out = ckt.Node("out")
+		} else {
+			out = ckt.Node(fmt.Sprintf("c%d", i))
+		}
+		tag := fmt.Sprintf("%d", i)
+		ckt.Add(device.NewMOSFETEKV("MP"+tag, out, prev, supply, supply, pm, 2e-6, 0.5e-6))
+		ckt.Add(device.NewMOSFETEKV("MN"+tag, out, prev, circuit.Ground, circuit.Ground, nm, 1e-6, 0.5e-6))
+		ckt.Add(device.NewCapacitor("CL"+tag, out, circuit.Ground, 8e-15))
+		prev = out
+	}
+	return ckt
+}
+
+// NANDTree builds `levels` levels of two-input CMOS NAND gates reducing 2^levels
+// pulsed inputs to one output ("out") — a wider digital workload with
+// reconvergent switching.
+func NANDTree(levels int, vdd float64) *circuit.Circuit {
+	ckt := circuit.New(fmt.Sprintf("nandtree-%d", levels))
+	supply := ckt.Node("vdd")
+	ckt.Add(device.NewVSource("VDD", supply, circuit.Ground, device.DC(vdd)))
+	nm, pm := mosLib()
+	gate := 0
+	nand := func(a, b, y int) {
+		g := fmt.Sprintf("g%d", gate)
+		gate++
+		mid := ckt.Node("x" + g)
+		// Pull-down stack.
+		ckt.Add(device.NewMOSFET("MNA"+g, y, a, mid, circuit.Ground, nm, 2e-6, 0.5e-6))
+		ckt.Add(device.NewMOSFET("MNB"+g, mid, b, circuit.Ground, circuit.Ground, nm, 2e-6, 0.5e-6))
+		// Parallel pull-ups.
+		ckt.Add(device.NewMOSFET("MPA"+g, y, a, supply, supply, pm, 3e-6, 0.5e-6))
+		ckt.Add(device.NewMOSFET("MPB"+g, y, b, supply, supply, pm, 3e-6, 0.5e-6))
+		ckt.Add(device.NewCapacitor("CL"+g, y, circuit.Ground, 6e-15))
+	}
+	// Pulsed primary inputs with staggered phases.
+	inputs := make([]int, 1<<levels)
+	for i := range inputs {
+		inputs[i] = ckt.Node(fmt.Sprintf("in%d", i))
+		phase := 0.0
+		if i%2 == 1 {
+			phase = 2e-9 // odd inputs toggle half a period later
+		}
+		ckt.Add(device.NewVSource(fmt.Sprintf("Vin%d", i), inputs[i], circuit.Ground, device.Pulse{
+			V1: vdd, V2: 0, Delay: 0.2e-9 + phase,
+			Rise: 0.1e-9, Fall: 0.1e-9, Width: 1.5e-9, Period: 4e-9,
+		}))
+	}
+	level := inputs
+	for len(level) > 1 {
+		next := make([]int, len(level)/2)
+		for i := range next {
+			var y int
+			if len(level) == 2 {
+				y = ckt.Node("out")
+			} else {
+				y = ckt.Node(fmt.Sprintf("l%d_%d", len(level), i))
+			}
+			nand(level[2*i], level[2*i+1], y)
+			next[i] = y
+		}
+		level = next
+	}
+	return ckt
+}
+
+// ECLChain builds a chain of emitter-coupled-logic buffers: each stage is a
+// BJT differential pair with an emitter-follower output. The pn-junction
+// limiting of the six transistor junctions per stage makes every time point
+// cost noticeably more Newton iterations than the MOS circuits — the
+// iteration-rich regime (BSIM-class models in the paper) where forward
+// pipelining's speculative overlap pays. Output node: "out".
+func ECLChain(stages int) *circuit.Circuit {
+	ckt := circuit.New(fmt.Sprintf("ecl-%d", stages))
+	vee := ckt.Node("vee")
+	vref := ckt.Node("vref")
+	ckt.Add(device.NewVSource("VEE", vee, circuit.Ground, device.DC(-5.2)))
+	ckt.Add(device.NewVSource("VREF", vref, circuit.Ground, device.DC(-1.3)))
+	in := ckt.Node("in")
+	ckt.Add(device.NewVSource("Vin", in, circuit.Ground, device.Pulse{
+		V1: -1.7, V2: -0.9, Delay: 0.5e-9, Rise: 0.3e-9, Fall: 0.3e-9, Width: 3.5e-9, Period: 8e-9,
+	}))
+	qm := DefaultECLBJT()
+	prev := in
+	for i := 1; i <= stages; i++ {
+		tag := fmt.Sprintf("%d", i)
+		c2 := ckt.Node("c2_" + tag)
+		e := ckt.Node("e_" + tag)
+		var out int
+		if i == stages {
+			out = ckt.Node("out")
+		} else {
+			out = ckt.Node("o" + tag)
+		}
+		// Differential pair: Q1 steered by the input, Q2 by the reference;
+		// only Q2's collector drives the follower (non-inverting buffer).
+		c1 := ckt.Node("c1_" + tag)
+		ckt.Add(device.NewBJT("Q1"+tag, c1, prev, e, qm, 1))
+		ckt.Add(device.NewBJT("Q2"+tag, c2, vref, e, qm, 1))
+		ckt.Add(device.NewResistor("RC1"+tag, circuit.Ground, c1, 220))
+		ckt.Add(device.NewResistor("RC2"+tag, circuit.Ground, c2, 220))
+		ckt.Add(device.NewResistor("RT"+tag, e, vee, 780))
+		// Emitter follower level shifter.
+		ckt.Add(device.NewBJT("QF"+tag, circuit.Ground, c2, out, qm, 1))
+		ckt.Add(device.NewResistor("RF"+tag, out, vee, 2e3))
+		ckt.Add(device.NewCapacitor("CL"+tag, out, circuit.Ground, 50e-15))
+		prev = out
+	}
+	return ckt
+}
+
+// DefaultECLBJT returns the switching BJT card the ECL chain uses.
+func DefaultECLBJT() device.BJTModel {
+	m := device.DefaultBJTModel(device.NPN)
+	m.IS = 1e-16
+	m.BF = 100
+	m.TF = 0.1e-9
+	m.CJE = 0.5e-12
+	m.CJC = 0.3e-12
+	m.VAF = 60
+	return m
+}
+
+// BridgeRectifier builds a full-wave diode bridge with an RC smoothing load
+// driven by a sine source — the analog rectification workload. Output nodes
+// "outp"/"outn"; probe the differential via "outp".
+func BridgeRectifier(freq float64) *circuit.Circuit {
+	ckt := circuit.New("bridge-rectifier")
+	acp := ckt.Node("acp")
+	acn := ckt.Node("acn")
+	outp := ckt.Node("outp")
+	outn := ckt.Node("outn")
+	ckt.Add(device.NewVSource("Vac", acp, acn, device.Sin{Amplitude: 10, Freq: freq}))
+	// Reference the floating secondary to ground.
+	ckt.Add(device.NewResistor("Rref", acn, circuit.Ground, 1e6))
+	m := device.DiodeModel{IS: 1e-12, N: 1.05, TT: 10e-9, CJ0: 10e-12, VJ: 0.8, M: 0.45}
+	ckt.Add(device.NewDiode("D1", acp, outp, m, 1))
+	ckt.Add(device.NewDiode("D2", acn, outp, m, 1))
+	ckt.Add(device.NewDiode("D3", outn, acp, m, 1))
+	ckt.Add(device.NewDiode("D4", outn, acn, m, 1))
+	ckt.Add(device.NewCapacitor("Cf", outp, outn, 2e-6))
+	ckt.Add(device.NewResistor("RL", outp, outn, 2e3))
+	ckt.Add(device.NewResistor("Rgnd", outn, circuit.Ground, 10))
+	return ckt
+}
+
+// CSAmplifier builds a resistively loaded common-source NMOS amplifier with
+// source degeneration, driven by a small sine on top of a bias — the
+// small-signal analog workload. Output node: "out".
+func CSAmplifier(freq float64) *circuit.Circuit {
+	ckt := circuit.New("cs-amplifier")
+	supply := ckt.Node("vdd")
+	ckt.Add(device.NewVSource("VDD", supply, circuit.Ground, device.DC(3.3)))
+	in := ckt.Node("in")
+	ckt.Add(device.NewVSource("Vin", in, circuit.Ground, device.Sin{
+		Offset: 1.2, Amplitude: 0.05, Freq: freq,
+	}))
+	gate := ckt.Node("gate")
+	out := ckt.Node("out")
+	src := ckt.Node("src")
+	nm, _ := mosLib()
+	ckt.Add(device.NewResistor("Rg", in, gate, 1e3))
+	ckt.Add(device.NewCapacitor("Cg", gate, circuit.Ground, 1e-13))
+	ckt.Add(device.NewMOSFET("M1", out, gate, src, circuit.Ground, nm, 20e-6, 1e-6))
+	ckt.Add(device.NewResistor("Rd", supply, out, 10e3))
+	ckt.Add(device.NewResistor("Rs", src, circuit.Ground, 1e3))
+	ckt.Add(device.NewCapacitor("Cs", src, circuit.Ground, 1e-12))
+	ckt.Add(device.NewCapacitor("CLoad", out, circuit.Ground, 2e-13))
+	return ckt
+}
+
+// Benchmark describes one evaluation circuit: its generator plus the
+// transient window and probe node the experiments use.
+type Benchmark struct {
+	Name  string
+	Kind  string // "analog" or "digital"
+	Make  func() *circuit.Circuit
+	TStop float64
+	Probe string // node to compare/plot
+}
+
+// Suite returns the benchmark set used by the tables (Table 1 defines it).
+// Sizes are chosen so the serial runtimes sit in the tens-of-milliseconds
+// to seconds range on a laptop, matching the paper's relative regime.
+func Suite() []Benchmark {
+	return []Benchmark{
+		{Name: "grid16", Kind: "analog", Make: func() *circuit.Circuit { return PowerGridMesh(16, 1.8) }, TStop: 80e-9, Probe: "n8_8"},
+		{Name: "grid24", Kind: "analog", Make: func() *circuit.Circuit { return PowerGridMesh(24, 1.8) }, TStop: 80e-9, Probe: "n12_12"},
+		{Name: "ladder400", Kind: "analog", Make: func() *circuit.Circuit { return RCLadder(400) }, TStop: 100e-9, Probe: "out"},
+		{Name: "rlctree8", Kind: "analog", Make: func() *circuit.Circuit { return RLCTree(8) }, TStop: 40e-9, Probe: "out"},
+		{Name: "rect1k", Kind: "analog", Make: func() *circuit.Circuit { return BridgeRectifier(1e3) }, TStop: 6e-3, Probe: "outp"},
+		{Name: "amp10M", Kind: "analog", Make: func() *circuit.Circuit { return CSAmplifier(10e6) }, TStop: 2e-6, Probe: "out"},
+		{Name: "ring9", Kind: "digital", Make: func() *circuit.Circuit { return RingOscillator(9, 1.8) }, TStop: 20e-9, Probe: "s0"},
+		{Name: "inv50", Kind: "digital", Make: func() *circuit.Circuit { return InverterChain(50, 1.8) }, TStop: 25e-9, Probe: "out"},
+		{Name: "nand5", Kind: "digital", Make: func() *circuit.Circuit { return NANDTree(5, 1.8) }, TStop: 16e-9, Probe: "out"},
+		{Name: "ekv30", Kind: "digital", Make: func() *circuit.Circuit { return InverterChainEKV(30, 1.2) }, TStop: 25e-9, Probe: "out"},
+		{Name: "ecl8", Kind: "digital", Make: func() *circuit.Circuit { return ECLChain(8) }, TStop: 32e-9, Probe: "out"},
+	}
+}
+
+// Stats summarizes a generated circuit for Table 1.
+type Stats struct {
+	Nodes    int
+	Devices  int
+	Unknowns int
+}
+
+// Describe builds the circuit and reports its size.
+func (b Benchmark) Describe() (Stats, error) {
+	ckt := b.Make()
+	sys, err := ckt.Build()
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{Nodes: sys.NumNodes, Devices: len(ckt.Devices()), Unknowns: sys.N}, nil
+}
+
+// Period returns the fundamental drive period of a frequency, for window
+// sizing in examples.
+func Period(freq float64) float64 { return 1 / freq }

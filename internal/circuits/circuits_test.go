@@ -1,0 +1,276 @@
+package circuits
+
+import (
+	"math"
+	"testing"
+
+	"wavepipe/internal/transient"
+)
+
+func TestSuiteBuildsAndDescribes(t *testing.T) {
+	for _, b := range Suite() {
+		st, err := b.Describe()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if st.Nodes < 4 || st.Devices < 5 || st.Unknowns < st.Nodes {
+			t.Fatalf("%s: implausible size %+v", b.Name, st)
+		}
+		if b.Kind != "analog" && b.Kind != "digital" {
+			t.Fatalf("%s: bad kind %q", b.Name, b.Kind)
+		}
+		// The probe node must exist.
+		ckt := b.Make()
+		if _, ok := ckt.FindNode(b.Probe); !ok {
+			t.Fatalf("%s: probe node %q missing", b.Name, b.Probe)
+		}
+	}
+}
+
+func TestPowerGridDroop(t *testing.T) {
+	ckt := PowerGridMesh(8, 1.8)
+	sys, err := ckt.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := transient.Run(sys, transient.Options{TStop: 8e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := res.W.Signal("n4_4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	minV := math.Inf(1)
+	for _, v := range sig {
+		minV = math.Min(minV, v)
+	}
+	// The grid must start at VDD and droop (but not collapse) under load.
+	v0 := sig[0]
+	if math.Abs(v0-1.8) > 0.05 {
+		t.Fatalf("initial grid voltage %g, want ≈1.8", v0)
+	}
+	if minV >= v0-1e-4 || minV < 1.0 {
+		t.Fatalf("droop out of range: min %g from %g", minV, v0)
+	}
+}
+
+func TestRCLadderDelay(t *testing.T) {
+	sys, err := RCLadder(100).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := transient.Run(sys, transient.Options{TStop: 10e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Far end approaches 1 V near the end of the 4 ns high plateau
+	// (Elmore delay ≈ 1 ns for 100 segments), then decays after the fall.
+	end, _ := res.W.At("out", 4.9e-9)
+	if math.Abs(end-1) > 0.05 {
+		t.Fatalf("ladder end = %g, want ≈1", end)
+	}
+	early, _ := res.W.At("out", 0.6e-9)
+	if early > 0.5 {
+		t.Fatalf("ladder shows no delay: v(0.6ns) = %g", early)
+	}
+	late, _ := res.W.At("out", 9.9e-9)
+	if late > 0.2 {
+		t.Fatalf("ladder did not decay after the pulse: %g", late)
+	}
+}
+
+func TestRingOscillatorOscillates(t *testing.T) {
+	sys, err := RingOscillator(5, 1.8).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := transient.Run(sys, transient.Options{TStop: 12e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := res.W.Signal("s0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count rail-to-rail crossings of mid-supply (period ≈ 2.6 ns: expect
+	// ≈9 crossings in 12 ns; require sustained oscillation).
+	crossings := 0
+	for i := 1; i < len(sig); i++ {
+		if (sig[i-1]-0.9)*(sig[i]-0.9) < 0 {
+			crossings++
+		}
+	}
+	if crossings < 6 {
+		t.Fatalf("ring oscillator not oscillating: %d crossings", crossings)
+	}
+}
+
+func TestInverterChainInverts(t *testing.T) {
+	sys, err := InverterChain(4, 1.8).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := transient.Run(sys, transient.Options{TStop: 4e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even number of stages: the output follows the input logically.
+	vOutHigh, _ := res.W.At("out", 1.5e-9) // input high plateau
+	if vOutHigh < 1.5 {
+		t.Fatalf("4-stage chain output during input high = %g, want ≈1.8", vOutHigh)
+	}
+	vOut0, _ := res.W.At("out", 0.1e-9) // before the pulse, input low
+	if vOut0 > 0.3 {
+		t.Fatalf("4-stage chain output during input low = %g, want ≈0", vOut0)
+	}
+}
+
+func TestNANDTreeSwitches(t *testing.T) {
+	sys, err := NANDTree(3, 1.8).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := transient.Run(sys, transient.Options{TStop: 5e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := res.W.Signal("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, v := range sig {
+		minV = math.Min(minV, v)
+		maxV = math.Max(maxV, v)
+	}
+	if maxV-minV < 1.0 {
+		t.Fatalf("NAND tree output swing %g too small", maxV-minV)
+	}
+}
+
+func TestBridgeRectifierFullWave(t *testing.T) {
+	sys, err := BridgeRectifier(1e3).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := transient.Run(sys, transient.Options{TStop: 3e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outp, _ := res.W.Signal("outp")
+	outn, _ := res.W.Signal("outn")
+	// The differential output must be positive and substantial once charged.
+	last := len(outp) - 1
+	diff := outp[last] - outn[last]
+	if diff < 5 || diff > 10 {
+		t.Fatalf("rectified output %g, want ≈8", diff)
+	}
+}
+
+func TestCSAmplifierGain(t *testing.T) {
+	sys, err := CSAmplifier(10e6).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := transient.Run(sys, transient.Options{TStop: 400e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, _ := res.W.Signal("out")
+	// Skip the settling; measure steady-state swing.
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for i := len(sig) / 2; i < len(sig); i++ {
+		minV = math.Min(minV, sig[i])
+		maxV = math.Max(maxV, sig[i])
+	}
+	gain := (maxV - minV) / (2 * 0.05)
+	if gain < 1.5 {
+		t.Fatalf("amplifier gain %g, want > 1.5", gain)
+	}
+}
+
+func TestRLCTreeRings(t *testing.T) {
+	sys, err := RLCTree(5).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := transient.Run(sys, transient.Options{TStop: 6e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, _ := res.W.Signal("out")
+	maxV := 0.0
+	for _, v := range sig {
+		maxV = math.Max(maxV, v)
+	}
+	if maxV < 1.02 {
+		t.Fatalf("RLC tree shows no ringing: peak %g", maxV)
+	}
+}
+
+func TestRingOscillatorEvenStagesFixed(t *testing.T) {
+	ckt := RingOscillator(4, 1.8) // even input must be bumped to odd
+	if ckt.Title != "ringosc-5" {
+		t.Fatalf("even stage count not fixed: %s", ckt.Title)
+	}
+}
+
+func TestInverterChainEKVSwitches(t *testing.T) {
+	sys, err := InverterChainEKV(6, 1.2).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := transient.Run(sys, transient.Options{TStop: 5e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := res.W.Signal("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, v := range sig {
+		minV = math.Min(minV, v)
+		maxV = math.Max(maxV, v)
+	}
+	if maxV-minV < 0.9 {
+		t.Fatalf("EKV chain output swing %g too small", maxV-minV)
+	}
+}
+
+func TestECLChainTogglesAndIterates(t *testing.T) {
+	sys, err := ECLChain(4).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := transient.Run(sys, transient.Options{TStop: 20e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := res.W.Signal("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, v := range sig {
+		minV = math.Min(minV, v)
+		maxV = math.Max(maxV, v)
+	}
+	if maxV-minV < 0.4 {
+		t.Fatalf("ECL output swing %g too small", maxV-minV)
+	}
+	// The junction-limited BJTs must cost visibly more Newton iterations
+	// per solve than the Level-1 chain — that is the circuit's role in the
+	// forward-pipelining experiment.
+	iters := float64(res.Stats.NRIters) / float64(res.Stats.Solves)
+	if iters < 2.1 {
+		t.Fatalf("ECL iters/solve = %.2f, want > 2.1", iters)
+	}
+}
+
+func TestPeriod(t *testing.T) {
+	if Period(1e3) != 1e-3 {
+		t.Fatal("Period")
+	}
+}

@@ -1,0 +1,46 @@
+package dcop
+
+import (
+	"fmt"
+
+	"wavepipe/internal/circuit"
+	"wavepipe/internal/waveform"
+)
+
+// Sweep runs a DC sweep: for each value v in [start, stop] stepped by step,
+// it calls set(v) (which should retune a source), solves the operating
+// point warm-started from the previous solution, and records the selected
+// unknowns. The result's time axis carries the sweep values.
+func Sweep(ws *circuit.Workspace, set func(float64), start, stop, step float64,
+	names []string, record []int, opts Options) (*waveform.Set, error) {
+	if step == 0 || (stop-start)*step < 0 {
+		return nil, fmt.Errorf("dcop: invalid sweep %g:%g:%g", start, stop, step)
+	}
+	x := make([]float64, ws.Sys.N)
+	n := int((stop-start)/step) + 1
+	values := make([]float64, 0, n)
+	rows := make([][]float64, 0, n)
+	for i := 0; i < n; i++ {
+		v := start + float64(i)*step
+		set(v)
+		if _, err := Solve(ws, x, opts); err != nil {
+			return nil, fmt.Errorf("dcop: sweep point %g: %w", v, err)
+		}
+		row := make([]float64, ws.Sys.N)
+		copy(row, x)
+		values = append(values, v)
+		rows = append(rows, row)
+	}
+	// The waveform axis must ascend; descending sweeps are stored reversed.
+	w := waveform.NewSet(names, record)
+	if step > 0 {
+		for i := range values {
+			w.Append(values[i], rows[i])
+		}
+	} else {
+		for i := len(values) - 1; i >= 0; i-- {
+			w.Append(values[i], rows[i])
+		}
+	}
+	return w, nil
+}

@@ -1,0 +1,184 @@
+// Package device implements the circuit element models: passive elements,
+// independent and controlled sources, the pn-junction diode and the Level-1
+// MOSFET. Models are stateless with respect to evaluation — all mutable
+// per-instance state (junction limiting history) lives in per-worker state
+// vectors supplied through the evaluation context — so the same device
+// instances can be evaluated concurrently at different time points, which is
+// what WavePipe does.
+package device
+
+import "math"
+
+// Waveform describes the time dependence of an independent source.
+type Waveform interface {
+	// At returns the source value at time t (t >= 0; DC analyses use t = 0).
+	At(t float64) float64
+	// Breakpoints returns times at which the waveform has slope
+	// discontinuities inside [0, stop); the transient engines cut time
+	// steps at breakpoints so sharp edges are never stepped over.
+	Breakpoints(stop float64) []float64
+}
+
+// DC is a constant waveform.
+type DC float64
+
+// At implements Waveform.
+func (d DC) At(float64) float64 { return float64(d) }
+
+// Breakpoints implements Waveform.
+func (d DC) Breakpoints(float64) []float64 { return nil }
+
+// Pulse is the SPICE PULSE(v1 v2 td tr tf pw per) waveform.
+type Pulse struct {
+	V1, V2 float64 // initial and pulsed value
+	Delay  float64 // td
+	Rise   float64 // tr
+	Fall   float64 // tf
+	Width  float64 // pw
+	Period float64 // per (0 disables repetition)
+}
+
+// At implements Waveform.
+func (p Pulse) At(t float64) float64 {
+	if t < p.Delay {
+		return p.V1
+	}
+	tl := t - p.Delay
+	if p.Period > 0 {
+		tl = math.Mod(tl, p.Period)
+	}
+	// Left-continuous at instantaneous edges: the sample landing exactly on
+	// a zero-width edge's breakpoint belongs to the segment before the jump
+	// (the transient engines step TO breakpoints to finish the old segment).
+	switch {
+	case tl < p.Rise || (tl == p.Rise && p.Rise == 0 && tl == 0):
+		if p.Rise == 0 {
+			return p.V1
+		}
+		return p.V1 + (p.V2-p.V1)*tl/p.Rise
+	case tl <= p.Rise+p.Width:
+		return p.V2
+	case tl < p.Rise+p.Width+p.Fall || (p.Fall == 0 && tl == p.Rise+p.Width):
+		if p.Fall == 0 {
+			return p.V1
+		}
+		return p.V2 + (p.V1-p.V2)*(tl-p.Rise-p.Width)/p.Fall
+	default:
+		return p.V1
+	}
+}
+
+// Breakpoints implements Waveform.
+func (p Pulse) Breakpoints(stop float64) []float64 {
+	var bps []float64
+	period := p.Period
+	edges := []float64{0, p.Rise, p.Rise + p.Width, p.Rise + p.Width + p.Fall}
+	for start := p.Delay; start < stop; start += period {
+		for _, e := range edges {
+			if bt := start + e; bt > 0 && bt < stop {
+				bps = append(bps, bt)
+			}
+		}
+		if period <= 0 {
+			break
+		}
+	}
+	return bps
+}
+
+// Sin is the SPICE SIN(vo va freq td theta) waveform.
+type Sin struct {
+	Offset, Amplitude, Freq float64
+	Delay, Damping          float64
+}
+
+// At implements Waveform.
+func (s Sin) At(t float64) float64 {
+	if t < s.Delay {
+		return s.Offset
+	}
+	tl := t - s.Delay
+	return s.Offset + s.Amplitude*math.Exp(-tl*s.Damping)*math.Sin(2*math.Pi*s.Freq*tl)
+}
+
+// Breakpoints implements Waveform.
+func (s Sin) Breakpoints(stop float64) []float64 {
+	if s.Delay > 0 && s.Delay < stop {
+		return []float64{s.Delay}
+	}
+	return nil
+}
+
+// PWL is the SPICE piecewise-linear waveform: value linearly interpolated
+// between (Times[i], Values[i]) samples, clamped at the ends.
+type PWL struct {
+	Times  []float64
+	Values []float64
+}
+
+// At implements Waveform.
+func (p PWL) At(t float64) float64 {
+	n := len(p.Times)
+	if n == 0 {
+		return 0
+	}
+	if t <= p.Times[0] {
+		return p.Values[0]
+	}
+	if t >= p.Times[n-1] {
+		return p.Values[n-1]
+	}
+	// Linear scan: PWL sources in decks are short.
+	for i := 1; i < n; i++ {
+		if t <= p.Times[i] {
+			f := (t - p.Times[i-1]) / (p.Times[i] - p.Times[i-1])
+			return p.Values[i-1] + f*(p.Values[i]-p.Values[i-1])
+		}
+	}
+	return p.Values[n-1]
+}
+
+// Breakpoints implements Waveform.
+func (p PWL) Breakpoints(stop float64) []float64 {
+	var bps []float64
+	for _, t := range p.Times {
+		if t > 0 && t < stop {
+			bps = append(bps, t)
+		}
+	}
+	return bps
+}
+
+// Exp is the SPICE EXP(v1 v2 td1 tau1 td2 tau2) waveform.
+type Exp struct {
+	V1, V2    float64
+	TD1, Tau1 float64
+	TD2, Tau2 float64
+}
+
+// At implements Waveform.
+func (e Exp) At(t float64) float64 {
+	v := e.V1
+	if t >= e.TD1 && e.Tau1 > 0 {
+		v += (e.V2 - e.V1) * (1 - math.Exp(-(t-e.TD1)/e.Tau1))
+	} else if t >= e.TD1 {
+		v = e.V2
+	}
+	if t >= e.TD2 && e.Tau2 > 0 {
+		v += (e.V1 - e.V2) * (1 - math.Exp(-(t-e.TD2)/e.Tau2))
+	} else if t >= e.TD2 {
+		v += e.V1 - e.V2
+	}
+	return v
+}
+
+// Breakpoints implements Waveform.
+func (e Exp) Breakpoints(stop float64) []float64 {
+	var bps []float64
+	for _, td := range []float64{e.TD1, e.TD2} {
+		if td > 0 && td < stop {
+			bps = append(bps, td)
+		}
+	}
+	return bps
+}

@@ -1,0 +1,116 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDC(t *testing.T) {
+	w := DC(5)
+	if w.At(0) != 5 || w.At(1e9) != 5 {
+		t.Fatal("DC not constant")
+	}
+	if w.Breakpoints(1) != nil {
+		t.Fatal("DC has no breakpoints")
+	}
+}
+
+func TestPulseShape(t *testing.T) {
+	p := Pulse{V1: 0, V2: 1, Delay: 1, Rise: 1, Fall: 2, Width: 3, Period: 10}
+	cases := []struct{ t, want float64 }{
+		{0, 0},      // before delay
+		{1, 0},      // at delay
+		{1.5, 0.5},  // mid rise
+		{2, 1},      // top start
+		{4.9, 1},    // top end
+		{6, 0.5},    // mid fall
+		{7, 0},      // back to v1
+		{11.5, 0.5}, // second period mid rise
+	}
+	for _, c := range cases {
+		if got := p.At(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Pulse.At(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+}
+
+func TestPulseZeroEdges(t *testing.T) {
+	p := Pulse{V1: 0, V2: 1, Delay: 0, Rise: 0, Fall: 0, Width: 1, Period: 0}
+	if p.At(0.5) != 1 {
+		t.Fatal("instant rise failed")
+	}
+	if p.At(1.5) != 0 {
+		t.Fatal("instant fall failed")
+	}
+}
+
+func TestPulseBreakpoints(t *testing.T) {
+	p := Pulse{V1: 0, V2: 1, Delay: 1, Rise: 1, Fall: 1, Width: 1, Period: 10}
+	bps := p.Breakpoints(12)
+	// Period 1: 1,2,3,4; period 2: 11 (12 excluded by stop).
+	want := []float64{1, 2, 3, 4, 11}
+	if len(bps) != len(want) {
+		t.Fatalf("breakpoints = %v, want %v", bps, want)
+	}
+	for i := range want {
+		if math.Abs(bps[i]-want[i]) > 1e-12 {
+			t.Fatalf("breakpoints = %v, want %v", bps, want)
+		}
+	}
+	// Non-periodic pulse emits a single set.
+	p.Period = 0
+	if got := p.Breakpoints(100); len(got) != 4 {
+		t.Fatalf("non-periodic breakpoints = %v", got)
+	}
+}
+
+func TestSin(t *testing.T) {
+	s := Sin{Offset: 1, Amplitude: 2, Freq: 1, Delay: 0.5}
+	if s.At(0.2) != 1 {
+		t.Fatal("before delay should be offset")
+	}
+	if got := s.At(0.5 + 0.25); math.Abs(got-3) > 1e-12 { // quarter period
+		t.Fatalf("peak = %g, want 3", got)
+	}
+	bps := s.Breakpoints(1)
+	if len(bps) != 1 || bps[0] != 0.5 {
+		t.Fatalf("breakpoints = %v", bps)
+	}
+	if got := (Sin{Offset: 0, Amplitude: 1, Freq: 1, Damping: math.Log(2)}).At(1); math.Abs(got) > 1e-12 {
+		t.Fatalf("sin at integer period = %g, want 0", got)
+	}
+}
+
+func TestPWL(t *testing.T) {
+	w := PWL{Times: []float64{0, 1, 3}, Values: []float64{0, 2, -2}}
+	cases := []struct{ t, want float64 }{
+		{-1, 0}, {0, 0}, {0.5, 1}, {1, 2}, {2, 0}, {3, -2}, {4, -2},
+	}
+	for _, c := range cases {
+		if got := w.At(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("PWL.At(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+	if got := (PWL{}).At(5); got != 0 {
+		t.Fatalf("empty PWL = %g", got)
+	}
+	bps := w.Breakpoints(2.5)
+	if len(bps) != 1 || bps[0] != 1 {
+		t.Fatalf("PWL breakpoints = %v", bps)
+	}
+}
+
+func TestExp(t *testing.T) {
+	w := Exp{V1: 0, V2: 1, TD1: 0, Tau1: 1, TD2: 5, Tau2: 1}
+	if got := w.At(1); math.Abs(got-(1-math.Exp(-1))) > 1e-12 {
+		t.Fatalf("Exp.At(1) = %g", got)
+	}
+	// After the second edge the value decays back toward V1.
+	if w.At(20) > 0.01 {
+		t.Fatalf("Exp should decay back, got %g", w.At(20))
+	}
+	bps := w.Breakpoints(10)
+	if len(bps) != 1 || bps[0] != 5 {
+		t.Fatalf("Exp breakpoints = %v", bps)
+	}
+}

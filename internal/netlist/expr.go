@@ -1,0 +1,193 @@
+package netlist
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Expression support for .PARAM: brace expressions like {rload*2+50} are
+// evaluated during parsing against the deck's parameter table. The grammar
+// is the usual precedence chain with unary minus and parentheses; numbers
+// carry SPICE engineering suffixes.
+
+type exprParser struct {
+	toks   []string
+	pos    int
+	params map[string]float64
+}
+
+// EvalExpr evaluates an arithmetic expression over the given parameters.
+func EvalExpr(src string, params map[string]float64) (float64, error) {
+	toks, err := lexExpr(src)
+	if err != nil {
+		return 0, err
+	}
+	p := &exprParser{toks: toks, params: params}
+	v, err := p.expr()
+	if err != nil {
+		return 0, err
+	}
+	if p.pos != len(p.toks) {
+		return 0, fmt.Errorf("netlist: trailing tokens in expression %q", src)
+	}
+	return v, nil
+}
+
+func lexExpr(src string) ([]string, error) {
+	var toks []string
+	i := 0
+	rs := []rune(src)
+	for i < len(rs) {
+		c := rs[i]
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case strings.ContainsRune("+-*/()", c):
+			toks = append(toks, string(c))
+			i++
+		case unicode.IsDigit(c) || c == '.':
+			j := i
+			for j < len(rs) && (unicode.IsDigit(rs[j]) || rs[j] == '.' ||
+				unicode.IsLetter(rs[j]) ||
+				((rs[j] == '+' || rs[j] == '-') && (rs[j-1] == 'e' || rs[j-1] == 'E'))) {
+				j++
+			}
+			toks = append(toks, string(rs[i:j]))
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(rs) && (unicode.IsLetter(rs[j]) || unicode.IsDigit(rs[j]) || rs[j] == '_') {
+				j++
+			}
+			toks = append(toks, string(rs[i:j]))
+			i = j
+		default:
+			return nil, fmt.Errorf("netlist: bad character %q in expression %q", c, src)
+		}
+	}
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("netlist: empty expression")
+	}
+	return toks, nil
+}
+
+func (p *exprParser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *exprParser) expr() (float64, error) {
+	v, err := p.term()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		switch p.peek() {
+		case "+":
+			p.pos++
+			r, err := p.term()
+			if err != nil {
+				return 0, err
+			}
+			v += r
+		case "-":
+			p.pos++
+			r, err := p.term()
+			if err != nil {
+				return 0, err
+			}
+			v -= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) term() (float64, error) {
+	v, err := p.factor()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		switch p.peek() {
+		case "*":
+			p.pos++
+			r, err := p.factor()
+			if err != nil {
+				return 0, err
+			}
+			v *= r
+		case "/":
+			p.pos++
+			r, err := p.factor()
+			if err != nil {
+				return 0, err
+			}
+			if r == 0 {
+				return 0, fmt.Errorf("netlist: division by zero in expression")
+			}
+			v /= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) factor() (float64, error) {
+	tok := p.peek()
+	switch {
+	case tok == "(":
+		p.pos++
+		v, err := p.expr()
+		if err != nil {
+			return 0, err
+		}
+		if p.peek() != ")" {
+			return 0, fmt.Errorf("netlist: missing ')' in expression")
+		}
+		p.pos++
+		return v, nil
+	case tok == "-":
+		p.pos++
+		v, err := p.factor()
+		return -v, err
+	case tok == "+":
+		p.pos++
+		return p.factor()
+	case tok == "":
+		return 0, fmt.Errorf("netlist: unexpected end of expression")
+	default:
+		p.pos++
+		if v, err := ParseValue(tok); err == nil {
+			return v, nil
+		}
+		if v, ok := p.params[strings.ToLower(tok)]; ok {
+			return v, nil
+		}
+		return 0, fmt.Errorf("netlist: unknown parameter %q", tok)
+	}
+}
+
+// substituteParams replaces every brace expression {expr} in a line with
+// its evaluated numeric literal.
+func substituteParams(line string, params map[string]float64) (string, error) {
+	for {
+		open := strings.IndexByte(line, '{')
+		if open < 0 {
+			return line, nil
+		}
+		close := strings.IndexByte(line[open:], '}')
+		if close < 0 {
+			return "", fmt.Errorf("netlist: unterminated brace expression in %q", line)
+		}
+		close += open
+		v, err := EvalExpr(line[open+1:close], params)
+		if err != nil {
+			return "", err
+		}
+		line = line[:open] + FormatValue(v) + line[close+1:]
+	}
+}

@@ -1,0 +1,88 @@
+package netlist
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"wavepipe/internal/device"
+)
+
+func TestEvalExpr(t *testing.T) {
+	params := map[string]float64{"rload": 2e3, "n": 4}
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"1+2*3", 7},
+		{"(1+2)*3", 9},
+		{"-2*3", -6},
+		{"rload/2", 1e3},
+		{"rload*n + 1k", 9e3},
+		{"2.5u*4", 1e-5},
+		{"+5", 5},
+		{"1e3*2", 2e3},
+	}
+	for _, c := range cases {
+		got, err := EvalExpr(c.in, params)
+		if err != nil {
+			t.Fatalf("%q: %v", c.in, err)
+		}
+		if math.Abs(got-c.want) > 1e-12*math.Abs(c.want) {
+			t.Fatalf("%q = %g, want %g", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "1+", "(1", "zz*2", "1/0", "1 2", "#"} {
+		if _, err := EvalExpr(bad, params); err == nil {
+			t.Fatalf("%q should fail", bad)
+		}
+	}
+}
+
+func TestSubstituteParams(t *testing.T) {
+	params := map[string]float64{"w": 2e-6}
+	out, err := substituteParams("M1 d g s b mod w={w} l={w/4}", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "w=2u") || !strings.Contains(out, "l=500n") {
+		t.Fatalf("substituted: %q", out)
+	}
+	if _, err := substituteParams("R1 a b {unclosed", params); err == nil {
+		t.Fatal("unterminated brace should fail")
+	}
+	plain, _ := substituteParams("R1 a b 1k", params)
+	if plain != "R1 a b 1k" {
+		t.Fatal("plain line must pass through")
+	}
+}
+
+func TestParamDeckEndToEnd(t *testing.T) {
+	deck := `parametrized divider
+.param rtop=1k rbot={rtop*3}
+.param vdrive=8
+V1 in 0 DC {vdrive}
+R1 in mid {rtop}
+R2 mid 0 {rbot}
+.end
+`
+	d, err := Parse(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rbot float64
+	for _, dev := range d.Circuit.Devices() {
+		if r, ok := dev.(*device.Resistor); ok && r.Inst == "R2" {
+			rbot = r.R
+		}
+	}
+	if rbot != 3e3 {
+		t.Fatalf("rbot = %g", rbot)
+	}
+	if _, err := Parse("t\n.param bad\n.end"); err == nil {
+		t.Fatal("malformed .param should fail")
+	}
+	if _, err := Parse("t\n.param x={undefined_ref*2}\n.end"); err == nil {
+		t.Fatal("undefined reference should fail")
+	}
+}

@@ -1,0 +1,183 @@
+package netlist
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"wavepipe/internal/device"
+)
+
+const extendedDeck = `extended element coverage
+.model qn npn(is=1e-15 bf=150 vaf=100 tf=0.3n cje=1p cjc=0.5p)
+.model qp pnp(bf=60)
+.model nch2 nmos(level=2 vto=0.45 kp=100u nfactor=1.3 lambda=0.04)
+.model relay sw(ron=0.5 roff=1meg vt=2.5 dv=0.2)
+VCC vcc 0 DC 12
+VIN in 0 SIN(0 0.01 1k) AC 1 90
+ISRC 0 bias DC 1m AC 0.5
+RC1 vcc c1 4.7k
+Q1 c1 in e1 qn 2
+Q2 vcc e1 out qp
+RE e1 0 1k
+RL out 0 10k
+M1 c1 in 0 0 nch2 w=5u l=1u
+L1 in lx 1u
+L2 out ly 4u
+RLX lx 0 1k
+RLY ly 0 1k
+K1 L1 L2 0.8
+F1 0 fb VIN 3
+RF fb 0 2k
+H1 hout 0 VIN 100
+RH hout 0 1k
+S1 bias sw1 in 0 relay
+RSW sw1 0 1k
+.ac dec 10 1 1meg
+.dc VIN -1 1 0.1
+.tran 1u 5m
+.end
+`
+
+func TestParseExtendedElements(t *testing.T) {
+	d, err := Parse(extendedDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		nBJT, nEKV, nSwitch, nCCCS, nCCVS, nMutual int
+		vin                                        *device.VSource
+		isrc                                       *device.ISource
+	)
+	for _, dev := range d.Circuit.Devices() {
+		switch el := dev.(type) {
+		case *device.BJT:
+			nBJT++
+			if el.Inst == "Q1" {
+				if el.Model.BF != 150 || el.Model.VAF != 100 || el.Area != 2 {
+					t.Fatalf("Q1 model: %+v area %g", el.Model, el.Area)
+				}
+			}
+		case *device.MOSFETEKV:
+			nEKV++
+			if el.Model.VTO != 0.45 || el.Model.N != 1.3 {
+				t.Fatalf("EKV model: %+v", el.Model)
+			}
+		case *device.Switch:
+			nSwitch++
+			if el.Model.RON != 0.5 || el.Model.VT != 2.5 {
+				t.Fatalf("switch model: %+v", el.Model)
+			}
+		case *device.CCCS:
+			nCCCS++
+			if el.Ctrl.Inst != "VIN" || el.Gain != 3 {
+				t.Fatalf("CCCS: %+v", el)
+			}
+		case *device.CCVS:
+			nCCVS++
+			if el.Gain != 100 {
+				t.Fatalf("CCVS gain: %g", el.Gain)
+			}
+		case *device.Mutual:
+			nMutual++
+			if el.K != 0.8 || el.L1.Inst != "L1" {
+				t.Fatalf("mutual: %+v", el)
+			}
+		case *device.VSource:
+			if el.Inst == "VIN" {
+				vin = el
+			}
+		case *device.ISource:
+			isrc = el
+		}
+	}
+	if nBJT != 2 || nEKV != 1 || nSwitch != 1 || nCCCS != 1 || nCCVS != 1 || nMutual != 1 {
+		t.Fatalf("element counts: Q=%d EKV=%d S=%d F=%d H=%d K=%d",
+			nBJT, nEKV, nSwitch, nCCCS, nCCVS, nMutual)
+	}
+	if vin == nil || vin.ACMag != 1 || vin.ACPhase != 90 {
+		t.Fatalf("VIN AC spec: %+v", vin)
+	}
+	if isrc == nil || isrc.ACMag != 0.5 {
+		t.Fatalf("ISRC AC spec: %+v", isrc)
+	}
+	if d.AC == nil || d.AC.Sweep != "dec" || d.AC.Points != 10 || d.AC.FStop != 1e6 {
+		t.Fatalf(".AC = %+v", d.AC)
+	}
+	if d.DC == nil || d.DC.Source != "VIN" || d.DC.Step != 0.1 {
+		t.Fatalf(".DC = %+v", d.DC)
+	}
+	if src, ok := d.FindSource("vin"); !ok || src != vin {
+		t.Fatal("FindSource")
+	}
+	if _, ok := d.FindSource("nope"); ok {
+		t.Fatal("FindSource invented a source")
+	}
+	if _, err := d.Circuit.Build(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtendedWriteParseRoundTrip(t *testing.T) {
+	d1, err := Parse(extendedDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, d1); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Parse(sb.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, sb.String())
+	}
+	if len(d2.Circuit.Devices()) != len(d1.Circuit.Devices()) {
+		t.Fatalf("device count %d -> %d", len(d1.Circuit.Devices()), len(d2.Circuit.Devices()))
+	}
+	if d2.AC == nil || d2.AC.Points != 10 || d2.DC == nil || d2.DC.Source != "VIN" {
+		t.Fatalf("analysis cards lost: %+v %+v", d2.AC, d2.DC)
+	}
+	vin2, ok := d2.FindSource("VIN")
+	if !ok || vin2.ACMag != 1 || math.Abs(vin2.ACPhase-90) > 1e-12 {
+		t.Fatalf("AC spec lost: %+v", vin2)
+	}
+	if _, err := d2.Circuit.Build(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitACSpec(t *testing.T) {
+	// "ac" inside PULSE parens must not trigger the AC spec.
+	wave, mag, _, err := splitACSpec([]string{"pulse(0", "1", "1n", "1n", "1n", "5n", "10n)", "AC", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wave) != 7 || mag != 2 {
+		t.Fatalf("wave=%v mag=%g", wave, mag)
+	}
+	// Bare AC defaults to magnitude 1.
+	_, mag, _, err = splitACSpec([]string{"dc", "5", "ac"})
+	if err != nil || mag != 1 {
+		t.Fatalf("bare ac: mag=%g err=%v", mag, err)
+	}
+	// No AC at all.
+	wave, mag, _, err = splitACSpec([]string{"dc", "5"})
+	if err != nil || mag != 0 || len(wave) != 2 {
+		t.Fatalf("no ac: %v %g %v", wave, mag, err)
+	}
+}
+
+func TestDeferredReferenceErrors(t *testing.T) {
+	cases := []string{
+		"t\nR1 a 0 1k\nF1 a 0 VX 2\n.end",         // unknown control source
+		"t\nR1 a 0 1k\nK1 L1 L2 0.5\n.end",        // unknown inductors
+		"t\nV1 a 0 1\nR1 a 0 1k\nF1 a 0 V1\n.end", // missing gain
+		"t\nQ1 a b c nosuch\nR1 a 0 1\n.end",      // unknown BJT model
+		"t\nS1 a 0 b 0 nosuch\nR1 a 0 1\n.end",    // unknown switch model
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Fatalf("expected error for %q", c)
+		}
+	}
+}

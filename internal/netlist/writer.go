@@ -1,0 +1,274 @@
+package netlist
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"wavepipe/internal/device"
+)
+
+// Write renders a deck back to SPICE text. Decks produced by Parse and by
+// the programmatic generators round-trip through Write/Parse to equivalent
+// circuits (verified by the package tests).
+func Write(w io.Writer, d *Deck) error {
+	b := &strings.Builder{}
+	title := d.Title
+	if title == "" {
+		title = d.Circuit.Title
+	}
+	if title == "" {
+		title = "untitled"
+	}
+	fmt.Fprintf(b, "* %s\n", title)
+
+	ckt := d.Circuit
+	nn := func(i int) string { return ckt.NodeName(i) }
+
+	// Collect model cards, deduplicated by content.
+	dioCards := map[device.DiodeModel]string{}
+	mosCards := map[device.MOSModel]string{}
+	ekvCards := map[device.EKVModel]string{}
+	bjtCards := map[device.BJTModel]string{}
+	swCards := map[device.SwitchModel]string{}
+	for _, dev := range ckt.Devices() {
+		switch el := dev.(type) {
+		case *device.Diode:
+			if _, ok := dioCards[el.Model]; !ok {
+				dioCards[el.Model] = fmt.Sprintf("dmod%d", len(dioCards)+1)
+			}
+		case *device.MOSFET:
+			if _, ok := mosCards[el.Model]; !ok {
+				mosCards[el.Model] = fmt.Sprintf("mmod%d", len(mosCards)+1)
+			}
+		case *device.MOSFETEKV:
+			if _, ok := ekvCards[el.Model]; !ok {
+				ekvCards[el.Model] = fmt.Sprintf("emod%d", len(ekvCards)+1)
+			}
+		case *device.BJT:
+			if _, ok := bjtCards[el.Model]; !ok {
+				bjtCards[el.Model] = fmt.Sprintf("qmod%d", len(bjtCards)+1)
+			}
+		case *device.Switch:
+			if _, ok := swCards[el.Model]; !ok {
+				swCards[el.Model] = fmt.Sprintf("smod%d", len(swCards)+1)
+			}
+		}
+	}
+	writeModelCards(b, dioCards, mosCards)
+	writeExtraModelCards(b, ekvCards, bjtCards, swCards)
+
+	for _, dev := range ckt.Devices() {
+		switch el := dev.(type) {
+		case *device.Resistor:
+			fmt.Fprintf(b, "%s %s %s %s\n", el.Inst, nn(el.P), nn(el.N), FormatValue(el.R))
+		case *device.Capacitor:
+			fmt.Fprintf(b, "%s %s %s %s\n", el.Inst, nn(el.P), nn(el.N), FormatValue(el.C))
+		case *device.Inductor:
+			fmt.Fprintf(b, "%s %s %s %s\n", el.Inst, nn(el.P), nn(el.N), FormatValue(el.L))
+		case *device.VSource:
+			fmt.Fprintf(b, "%s %s %s %s%s\n", el.Inst, nn(el.P), nn(el.N),
+				formatWaveform(el.W), formatAC(el.ACMag, el.ACPhase))
+		case *device.ISource:
+			fmt.Fprintf(b, "%s %s %s %s%s\n", el.Inst, nn(el.P), nn(el.N),
+				formatWaveform(el.W), formatAC(el.ACMag, el.ACPhase))
+		case *device.Diode:
+			fmt.Fprintf(b, "%s %s %s %s %s\n", el.Inst, nn(el.P), nn(el.N),
+				dioCards[el.Model], FormatValue(el.Area))
+		case *device.MOSFET:
+			fmt.Fprintf(b, "%s %s %s %s %s %s w=%s l=%s\n", el.Inst,
+				nn(el.D), nn(el.G), nn(el.S), nn(el.B),
+				mosCards[el.Model], FormatValue(el.W), FormatValue(el.L))
+		case *device.VCVS:
+			fmt.Fprintf(b, "%s %s %s %s %s %s\n", el.Inst,
+				nn(el.P), nn(el.N), nn(el.CP), nn(el.CN), FormatValue(el.Gain))
+		case *device.VCCS:
+			fmt.Fprintf(b, "%s %s %s %s %s %s\n", el.Inst,
+				nn(el.P), nn(el.N), nn(el.CP), nn(el.CN), FormatValue(el.Gm))
+		case *device.BJT:
+			fmt.Fprintf(b, "%s %s %s %s %s %s\n", el.Inst,
+				nn(el.C), nn(el.B), nn(el.E), bjtCards[el.Model], FormatValue(el.Area))
+		case *device.MOSFETEKV:
+			fmt.Fprintf(b, "%s %s %s %s %s %s w=%s l=%s\n", el.Inst,
+				nn(el.D), nn(el.G), nn(el.S), nn(el.B),
+				ekvCards[el.Model], FormatValue(el.W), FormatValue(el.L))
+		case *device.Switch:
+			fmt.Fprintf(b, "%s %s %s %s %s %s\n", el.Inst,
+				nn(el.P), nn(el.N), nn(el.CP), nn(el.CN), swCards[el.Model])
+		case *device.CCCS:
+			fmt.Fprintf(b, "%s %s %s %s %s\n", el.Inst,
+				nn(el.P), nn(el.N), el.Ctrl.Inst, FormatValue(el.Gain))
+		case *device.CCVS:
+			fmt.Fprintf(b, "%s %s %s %s %s\n", el.Inst,
+				nn(el.P), nn(el.N), el.Ctrl.Inst, FormatValue(el.Gain))
+		case *device.Mutual:
+			fmt.Fprintf(b, "%s %s %s %s\n", el.Inst, el.L1.Inst, el.L2.Inst, FormatValue(el.K))
+		default:
+			return fmt.Errorf("netlist: cannot serialize device %T (%s)", dev, dev.Name())
+		}
+	}
+
+	if len(d.ICs) > 0 {
+		keys := make([]string, 0, len(d.ICs))
+		for k := range d.ICs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprint(b, ".ic")
+		for _, k := range keys {
+			fmt.Fprintf(b, " v(%s)=%s", k, FormatValue(d.ICs[k]))
+		}
+		fmt.Fprintln(b)
+	}
+	if len(d.NodeSets) > 0 {
+		keys := make([]string, 0, len(d.NodeSets))
+		for k := range d.NodeSets {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprint(b, ".nodeset")
+		for _, k := range keys {
+			fmt.Fprintf(b, " v(%s)=%s", k, FormatValue(d.NodeSets[k]))
+		}
+		fmt.Fprintln(b)
+	}
+	if len(d.Options) > 0 {
+		keys := make([]string, 0, len(d.Options))
+		for k := range d.Options {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprint(b, ".options")
+		for _, k := range keys {
+			fmt.Fprintf(b, " %s=%s", k, FormatValue(d.Options[k]))
+		}
+		fmt.Fprintln(b)
+	}
+	if d.AC != nil {
+		fmt.Fprintf(b, ".ac %s %d %s %s\n", d.AC.Sweep, d.AC.Points,
+			FormatValue(d.AC.FStart), FormatValue(d.AC.FStop))
+	}
+	if d.DC != nil {
+		fmt.Fprintf(b, ".dc %s %s %s %s\n", d.DC.Source,
+			FormatValue(d.DC.Start), FormatValue(d.DC.Stop), FormatValue(d.DC.Step))
+	}
+	if d.Tran != nil {
+		fmt.Fprintf(b, ".tran %s %s", FormatValue(d.Tran.TStep), FormatValue(d.Tran.TStop))
+		if d.Tran.TMax > 0 {
+			fmt.Fprintf(b, " %s", FormatValue(d.Tran.TMax))
+		}
+		if d.Tran.UIC {
+			fmt.Fprint(b, " uic")
+		}
+		fmt.Fprintln(b)
+	}
+	fmt.Fprintln(b, ".end")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeModelCards(b *strings.Builder, dio map[device.DiodeModel]string, mos map[device.MOSModel]string) {
+	type card struct{ name, text string }
+	var cards []card
+	for m, name := range dio {
+		cards = append(cards, card{name, fmt.Sprintf(
+			".model %s d(is=%s n=%s tt=%s cj0=%s vj=%s m=%s fc=%s)\n",
+			name, FormatValue(m.IS), FormatValue(m.N), FormatValue(m.TT),
+			FormatValue(m.CJ0), FormatValue(m.VJ), FormatValue(m.M), FormatValue(m.FC))})
+	}
+	for m, name := range mos {
+		kind := "nmos"
+		if m.Type == device.PMOS {
+			kind = "pmos"
+		}
+		cards = append(cards, card{name, fmt.Sprintf(
+			".model %s %s(vto=%s kp=%s gamma=%s phi=%s lambda=%s cox=%s cgso=%s cgdo=%s cgbo=%s cbd=%s cbs=%s)\n",
+			name, kind, FormatValue(m.VTO), FormatValue(m.KP), FormatValue(m.GAMMA),
+			FormatValue(m.PHI), FormatValue(m.LAMBDA), FormatValue(m.COX),
+			FormatValue(m.CGSO), FormatValue(m.CGDO), FormatValue(m.CGBO),
+			FormatValue(m.CBD), FormatValue(m.CBS))})
+	}
+	sort.Slice(cards, func(i, j int) bool { return cards[i].name < cards[j].name })
+	for _, c := range cards {
+		b.WriteString(c.text)
+	}
+}
+
+// writeExtraModelCards emits EKV, BJT and switch model cards.
+func writeExtraModelCards(b *strings.Builder, ekv map[device.EKVModel]string,
+	bjt map[device.BJTModel]string, sw map[device.SwitchModel]string) {
+	type card struct{ name, text string }
+	var cards []card
+	for m, name := range ekv {
+		kind := "nmos"
+		if m.Type == device.PMOS {
+			kind = "pmos"
+		}
+		cards = append(cards, card{name, fmt.Sprintf(
+			".model %s %s(level=2 vto=%s kp=%s nfactor=%s lambda=%s cox=%s cgso=%s cgdo=%s)\n",
+			name, kind, FormatValue(m.VTO), FormatValue(m.KP), FormatValue(m.N),
+			FormatValue(m.LAMBDA), FormatValue(m.COX), FormatValue(m.CGSO), FormatValue(m.CGDO))})
+	}
+	for m, name := range bjt {
+		kind := "npn"
+		if m.Type == device.PNP {
+			kind = "pnp"
+		}
+		cards = append(cards, card{name, fmt.Sprintf(
+			".model %s %s(is=%s bf=%s br=%s nf=%s nr=%s vaf=%s tf=%s tr=%s cje=%s vje=%s mje=%s cjc=%s vjc=%s mjc=%s fc=%s)\n",
+			name, kind, FormatValue(m.IS), FormatValue(m.BF), FormatValue(m.BR),
+			FormatValue(m.NF), FormatValue(m.NR), FormatValue(m.VAF),
+			FormatValue(m.TF), FormatValue(m.TR), FormatValue(m.CJE), FormatValue(m.VJE),
+			FormatValue(m.MJE), FormatValue(m.CJC), FormatValue(m.VJC), FormatValue(m.MJC),
+			FormatValue(m.FC))})
+	}
+	for m, name := range sw {
+		cards = append(cards, card{name, fmt.Sprintf(
+			".model %s sw(ron=%s roff=%s vt=%s dv=%s)\n",
+			name, FormatValue(m.RON), FormatValue(m.ROFF), FormatValue(m.VT), FormatValue(m.DV))})
+	}
+	sort.Slice(cards, func(i, j int) bool { return cards[i].name < cards[j].name })
+	for _, c := range cards {
+		b.WriteString(c.text)
+	}
+}
+
+// formatAC renders a source's AC specification suffix ("" when absent).
+func formatAC(mag, phase float64) string {
+	if mag == 0 {
+		return ""
+	}
+	if phase == 0 {
+		return fmt.Sprintf(" ac %s", FormatValue(mag))
+	}
+	return fmt.Sprintf(" ac %s %s", FormatValue(mag), FormatValue(phase))
+}
+
+func formatWaveform(w device.Waveform) string {
+	switch wf := w.(type) {
+	case device.DC:
+		return fmt.Sprintf("dc %s", FormatValue(float64(wf)))
+	case device.Pulse:
+		return fmt.Sprintf("pulse(%s %s %s %s %s %s %s)",
+			FormatValue(wf.V1), FormatValue(wf.V2), FormatValue(wf.Delay),
+			FormatValue(wf.Rise), FormatValue(wf.Fall), FormatValue(wf.Width),
+			FormatValue(wf.Period))
+	case device.Sin:
+		return fmt.Sprintf("sin(%s %s %s %s %s)",
+			FormatValue(wf.Offset), FormatValue(wf.Amplitude), FormatValue(wf.Freq),
+			FormatValue(wf.Delay), FormatValue(wf.Damping))
+	case device.PWL:
+		parts := make([]string, 0, 2*len(wf.Times))
+		for i := range wf.Times {
+			parts = append(parts, FormatValue(wf.Times[i]), FormatValue(wf.Values[i]))
+		}
+		return fmt.Sprintf("pwl(%s)", strings.Join(parts, " "))
+	case device.Exp:
+		return fmt.Sprintf("exp(%s %s %s %s %s %s)",
+			FormatValue(wf.V1), FormatValue(wf.V2), FormatValue(wf.TD1),
+			FormatValue(wf.Tau1), FormatValue(wf.TD2), FormatValue(wf.Tau2))
+	default:
+		return "dc 0"
+	}
+}

@@ -1,0 +1,145 @@
+// Package newton implements the damped Newton–Raphson loop used by the DC
+// operating-point and transient engines. One call solves the assembled
+// circuit equations F(x) + Alpha0·Q(x) + qhist − B(t) = 0 at a single time
+// point, reusing the workspace's sparse factorization across iterations.
+package newton
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"wavepipe/internal/circuit"
+	"wavepipe/internal/num"
+)
+
+// ErrNoConvergence is wrapped by Solve when the iteration limit is reached.
+var ErrNoConvergence = errors.New("newton: no convergence")
+
+// Options controls the Newton iteration.
+type Options struct {
+	MaxIter int            // iteration limit (default 50)
+	Tol     num.Tolerances // per-unknown update tolerance
+	// Damping clamps each solution update component to ±Damping
+	// (0 disables). Useful for MOS circuits without junction limiting.
+	Damping float64
+	// ResidualCheck additionally requires the weighted residual norm to
+	// drop below ResidualTol (skipped when 0).
+	ResidualTol float64
+}
+
+// DefaultOptions returns the options used across the repository.
+func DefaultOptions() Options {
+	return Options{MaxIter: 50, Tol: num.DefaultTolerances(), Damping: 5}
+}
+
+// Result reports what one Newton solve did.
+type Result struct {
+	Iters     int
+	Converged bool
+}
+
+// Solve runs Newton–Raphson on workspace ws starting from (and updating) x.
+// p carries the assembly parameters (time, Alpha0, gmin, source scale);
+// qhist is the integration history vector (nil for DC). Scratch vectors r
+// and dx must have length ws.Sys.N and are overwritten.
+//
+// On success x holds the converged solution and ws.F/Q/B the assembly at a
+// point no further than one converged update from x (the standard SPICE
+// convention: the last Load happened at the previous iterate).
+func Solve(ws *circuit.Workspace, x []float64, p circuit.LoadParams, qhist []float64, opts Options, r, dx []float64) (Result, error) {
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 50
+	}
+	res := Result{}
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		p.FirstIter = iter == 0
+		ws.Load(x, p)
+		limited := ws.Limited
+		ws.Residual(p.Alpha0, qhist, r)
+		if err := factorAndSolve(ws, r, dx); err != nil {
+			return res, fmt.Errorf("newton: iteration %d: %w", iter, err)
+		}
+		// x_{k+1} = x_k − J⁻¹·R, with optional per-component damping.
+		maxRatio := applyUpdate(x, dx, opts)
+		ws.FlipState()
+		res.Iters = iter + 1
+		// SPICE's convergence rule: accept as soon as the Newton update is
+		// inside the tolerance band, on any iteration — the update was
+		// computed from an exact Jacobian/residual at the previous iterate,
+		// so a small step certifies the iterate. The guard against the
+		// pn-junction false-convergence trap (an iterate assembled under
+		// active device limiting may pass the update test while grossly
+		// violating the true residual) is the limiting flag.
+		if maxRatio <= 1 && !limited {
+			if opts.ResidualTol > 0 {
+				ws.Load(x, p)
+				ws.Residual(p.Alpha0, qhist, r)
+				if num.MaxAbs(r) > opts.ResidualTol {
+					continue
+				}
+			}
+			res.Converged = true
+			return res, nil
+		}
+	}
+	return res, fmt.Errorf("%w after %d iterations", ErrNoConvergence, opts.MaxIter)
+}
+
+func factorAndSolve(ws *circuit.Workspace, r, dx []float64) error {
+	if err := ws.Solver.Factorize(); err != nil {
+		return err
+	}
+	return ws.Solver.Solve(r, dx)
+}
+
+// ResumeSolve continues a Newton iteration whose assembly already exists:
+// the workspace must hold a Load taken at x (same time point and Alpha0)
+// with a valid factorization — the state a speculative warm start leaves
+// behind. Because the device assembly does not depend on the integration
+// history, only the residual changes when the true history replaces the
+// predicted one: iteration 0 therefore costs one residual rebuild and one
+// triangular solve, and the loop then continues with full iterations. This
+// is what makes forward pipelining pay: most of the forward point's
+// computation happened speculatively, off the critical path.
+func ResumeSolve(ws *circuit.Workspace, x []float64, p circuit.LoadParams, qhist []float64, opts Options, r, dx []float64) (Result, error) {
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 50
+	}
+	res := Result{}
+	ws.Residual(p.Alpha0, qhist, r)
+	if err := ws.Solver.Solve(r, dx); err != nil {
+		return res, fmt.Errorf("newton: resume: %w", err)
+	}
+	maxRatio := applyUpdate(x, dx, opts)
+	res.Iters = 1
+	// The assembly and factorization are exact for the warm iterate (only
+	// the history vector changed), so this is a true Newton step and the
+	// standard acceptance rule applies.
+	if maxRatio <= 1 && !ws.Limited {
+		res.Converged = true
+		return res, nil
+	}
+	inner, err := Solve(ws, x, p, qhist, opts, r, dx)
+	res.Iters += inner.Iters
+	res.Converged = inner.Converged
+	return res, err
+}
+
+// applyUpdate performs x -= clamp(dx) and returns the weighted update norm.
+func applyUpdate(x, dx []float64, opts Options) float64 {
+	maxRatio := 0.0
+	for i := range x {
+		d := dx[i]
+		if opts.Damping > 0 {
+			d = num.Clamp(d, -opts.Damping, opts.Damping)
+		}
+		xOld := x[i]
+		x[i] -= d
+		w := opts.Tol.Weight(math.Max(math.Abs(xOld), math.Abs(x[i])))
+		if ratio := math.Abs(d) / w; ratio > maxRatio {
+			maxRatio = ratio
+		}
+	}
+	return maxRatio
+}

@@ -1,0 +1,297 @@
+package sparse
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// ComplexMatrix is an n×n complex sparse matrix sharing the pattern of a
+// real Matrix (AC analysis builds G + jωC on the pattern of G ∪ C).
+type ComplexMatrix struct {
+	n      int
+	ColPtr []int
+	RowIdx []int
+	Values []complex128
+}
+
+// NewComplexFromPattern returns a complex matrix over m's pattern with
+// zeroed values.
+func NewComplexFromPattern(m *Matrix) *ComplexMatrix {
+	return &ComplexMatrix{
+		n:      m.n,
+		ColPtr: m.ColPtr,
+		RowIdx: m.RowIdx,
+		Values: make([]complex128, len(m.RowIdx)),
+	}
+}
+
+// N returns the matrix dimension.
+func (m *ComplexMatrix) N() int { return m.n }
+
+// Fill sets Values[p] = g.Values[p] + jω·c.Values[p]. g and c must share
+// this matrix's pattern (true when all three came from the same Builder).
+func (m *ComplexMatrix) Fill(g, c *Matrix, omega float64) {
+	for p := range m.Values {
+		m.Values[p] = complex(g.Values[p], omega*c.Values[p])
+	}
+}
+
+// MulVec computes y = A·x (tests and iterative refinement).
+func (m *ComplexMatrix) MulVec(x, y []complex128) {
+	for i := range y {
+		y[i] = 0
+	}
+	for j := 0; j < m.n; j++ {
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+			y[m.RowIdx[p]] += m.Values[p] * xj
+		}
+	}
+}
+
+// ComplexLU is the complex-valued counterpart of LU: Gilbert–Peierls
+// factorization with threshold partial pivoting and a numeric Refactor path
+// reused across the frequency sweep (the pattern of G + jωC is frequency-
+// independent).
+type ComplexLU struct {
+	n       int
+	colPerm []int
+	rowPerm []int
+	rowInv  []int
+
+	lp []int
+	li []int
+	lx []complex128
+	up []int
+	ui []int
+	ux []complex128
+	ud []complex128
+
+	pivTol float64
+	work   []complex128
+}
+
+// FactorizeComplex computes a fresh complex LU factorization.
+func FactorizeComplex(m *ComplexMatrix, order []int, pivTol float64) (*ComplexLU, error) {
+	if pivTol <= 0 || pivTol > 1 {
+		pivTol = DefaultPivotTolerance
+	}
+	n := m.N()
+	f := &ComplexLU{
+		n:       n,
+		colPerm: order,
+		rowPerm: make([]int, n),
+		rowInv:  make([]int, n),
+		lp:      make([]int, n+1),
+		up:      make([]int, n+1),
+		ud:      make([]complex128, n),
+		pivTol:  pivTol,
+	}
+	for i := range f.rowInv {
+		f.rowInv[i] = -1
+	}
+	x := make([]complex128, n)
+	mark := make([]int, n)
+	topo := make([]int, 0, n)
+	stack := make([]int, 0, n)
+	stackP := make([]int, 0, n)
+	tmpCols := make([]int, 0, n)
+
+	for k := 0; k < n; k++ {
+		j := f.colPerm[k]
+		topo = topo[:0]
+		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+			r := m.RowIdx[p]
+			if mark[r] == k+1 {
+				continue
+			}
+			stack = append(stack[:0], r)
+			stackP = append(stackP[:0], 0)
+			mark[r] = k + 1
+			for len(stack) > 0 {
+				top := len(stack) - 1
+				row := stack[top]
+				pos := f.rowInv[row]
+				advanced := false
+				if pos >= 0 {
+					for c := f.lp[pos] + stackP[top]; c < f.lp[pos+1]; c++ {
+						child := f.li[c]
+						stackP[top] = c - f.lp[pos] + 1
+						if mark[child] != k+1 {
+							mark[child] = k + 1
+							stack = append(stack, child)
+							stackP = append(stackP, 0)
+							advanced = true
+							break
+						}
+					}
+				}
+				if !advanced {
+					topo = append(topo, row)
+					stack = stack[:top]
+					stackP = stackP[:top]
+				}
+			}
+		}
+		for _, r := range topo {
+			x[r] = 0
+		}
+		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+			x[m.RowIdx[p]] = m.Values[p]
+		}
+		for t := len(topo) - 1; t >= 0; t-- {
+			r := topo[t]
+			pos := f.rowInv[r]
+			if pos < 0 {
+				continue
+			}
+			xr := x[r]
+			if xr == 0 {
+				continue
+			}
+			for c := f.lp[pos]; c < f.lp[pos+1]; c++ {
+				x[f.li[c]] -= f.lx[c] * xr
+			}
+		}
+		tmpCols = tmpCols[:0]
+		pivotRow := -1
+		maxAbs := 0.0
+		for _, r := range topo {
+			if f.rowInv[r] >= 0 {
+				tmpCols = append(tmpCols, r)
+				continue
+			}
+			if a := cmplx.Abs(x[r]); a > maxAbs {
+				maxAbs = a
+				pivotRow = r
+			}
+		}
+		if pivotRow == -1 || maxAbs < tinyPivot {
+			return nil, fmt.Errorf("sparse: complex matrix is singular at column %d", k)
+		}
+		if f.rowInv[j] < 0 && mark[j] == k+1 {
+			if a := cmplx.Abs(x[j]); a >= f.pivTol*maxAbs && a >= tinyPivot {
+				pivotRow = j
+			}
+		}
+		f.rowPerm[k] = pivotRow
+		f.rowInv[pivotRow] = k
+		pv := x[pivotRow]
+		f.ud[k] = pv
+		insertionSortByPos(tmpCols, f.rowInv)
+		for _, r := range tmpCols {
+			f.ui = append(f.ui, f.rowInv[r])
+			f.ux = append(f.ux, x[r])
+		}
+		f.up[k+1] = len(f.ui)
+		for _, r := range topo {
+			if f.rowInv[r] >= 0 || r == pivotRow {
+				continue
+			}
+			f.li = append(f.li, r)
+			f.lx = append(f.lx, x[r]/pv)
+		}
+		f.lp[k+1] = len(f.li)
+	}
+	for p := range f.li {
+		f.li[p] = f.rowInv[f.li[p]]
+	}
+	for k := 0; k < n; k++ {
+		sortColumnComplex(f.li[f.lp[k]:f.lp[k+1]], f.lx[f.lp[k]:f.lp[k+1]])
+	}
+	return f, nil
+}
+
+func sortColumnComplex(idx []int, val []complex128) {
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && idx[j] < idx[j-1]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+			val[j], val[j-1] = val[j-1], val[j]
+		}
+	}
+}
+
+// Refactor recomputes the numeric factorization for new values on the same
+// pattern (the per-frequency path of an AC sweep). ErrRefactorPivot is
+// returned when a stored pivot degenerates.
+func (f *ComplexLU) Refactor(m *ComplexMatrix) error {
+	if m.N() != f.n {
+		return fmt.Errorf("sparse: complex Refactor dimension mismatch")
+	}
+	if f.work == nil {
+		f.work = make([]complex128, f.n)
+	}
+	w := f.work
+	for k := 0; k < f.n; k++ {
+		j := f.colPerm[k]
+		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+			w[f.rowInv[m.RowIdx[p]]] = m.Values[p]
+		}
+		for p := f.up[k]; p < f.up[k+1]; p++ {
+			i := f.ui[p]
+			xi := w[i]
+			f.ux[p] = xi
+			if xi == 0 {
+				continue
+			}
+			for q := f.lp[i]; q < f.lp[i+1]; q++ {
+				w[f.li[q]] -= f.lx[q] * xi
+			}
+		}
+		pv := w[k]
+		colMax := cmplx.Abs(pv)
+		for q := f.lp[k]; q < f.lp[k+1]; q++ {
+			if a := cmplx.Abs(w[f.li[q]]); a > colMax {
+				colMax = a
+			}
+		}
+		if cmplx.Abs(pv) < tinyPivot || (colMax > 0 && cmplx.Abs(pv) < 1e-14*colMax) {
+			return ErrRefactorPivot
+		}
+		f.ud[k] = pv
+		for q := f.lp[k]; q < f.lp[k+1]; q++ {
+			f.lx[q] = w[f.li[q]] / pv
+		}
+		for p := f.up[k]; p < f.up[k+1]; p++ {
+			w[f.ui[p]] = 0
+		}
+		w[k] = 0
+		for q := f.lp[k]; q < f.lp[k+1]; q++ {
+			w[f.li[q]] = 0
+		}
+	}
+	return nil
+}
+
+// Solve computes x with A·x = b.
+func (f *ComplexLU) Solve(b, x []complex128) {
+	w := make([]complex128, f.n)
+	for k := 0; k < f.n; k++ {
+		w[k] = b[f.rowPerm[k]]
+	}
+	for k := 0; k < f.n; k++ {
+		yk := w[k]
+		if yk == 0 {
+			continue
+		}
+		for q := f.lp[k]; q < f.lp[k+1]; q++ {
+			w[f.li[q]] -= f.lx[q] * yk
+		}
+	}
+	for k := f.n - 1; k >= 0; k-- {
+		zk := w[k] / f.ud[k]
+		w[k] = zk
+		if zk == 0 {
+			continue
+		}
+		for p := f.up[k]; p < f.up[k+1]; p++ {
+			w[f.ui[p]] -= f.ux[p] * zk
+		}
+	}
+	for k := 0; k < f.n; k++ {
+		x[f.colPerm[k]] = w[k]
+	}
+}

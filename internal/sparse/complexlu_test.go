@@ -1,0 +1,112 @@
+package sparse
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func randComplexSystem(rng *rand.Rand, n int, density float64) (*ComplexMatrix, []complex128, []int) {
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		d[i][i] = 2 + rng.Float64()*4
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < density {
+				d[i][j] = rng.NormFloat64()
+			}
+		}
+	}
+	g := FromDense(d)
+	// Reactive part on the same pattern.
+	c := g.Clone()
+	for p := range c.Values {
+		c.Values[p] = rng.NormFloat64()
+	}
+	cm := NewComplexFromPattern(g)
+	cm.Fill(g, c, 0.7)
+	b := make([]complex128, n)
+	for i := range b {
+		b[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return cm, b, ComputeOrdering(g, OrderMinDegree)
+}
+
+func TestComplexLUSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(25)
+		cm, b, order := randComplexSystem(rng, n, 0.2)
+		lu, err := FactorizeComplex(cm, order, DefaultPivotTolerance)
+		if err != nil {
+			continue
+		}
+		x := make([]complex128, n)
+		lu.Solve(b, x)
+		r := make([]complex128, n)
+		cm.MulVec(x, r)
+		for i := range r {
+			if cmplx.Abs(r[i]-b[i]) > 1e-7*(1+cmplx.Abs(b[i])) {
+				t.Fatalf("trial %d: residual[%d] = %v", trial, i, r[i]-b[i])
+			}
+		}
+	}
+}
+
+func TestComplexRefactorAcrossFrequencies(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n := 15
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		d[i][i] = 3
+		if i+1 < n {
+			d[i][i+1] = -1
+		}
+		if i > 0 {
+			d[i][i-1] = -1
+		}
+	}
+	g := FromDense(d)
+	c := g.Clone()
+	for p := range c.Values {
+		c.Values[p] = rng.Float64() * 1e-9
+	}
+	cm := NewComplexFromPattern(g)
+	order := ComputeOrdering(g, OrderMinDegree)
+	b := make([]complex128, n)
+	b[0] = 1
+	var lu *ComplexLU
+	x := make([]complex128, n)
+	r := make([]complex128, n)
+	for _, freq := range []float64{1e3, 1e5, 1e7, 1e9} {
+		omega := 2 * 3.141592653589793 * freq
+		cm.Fill(g, c, omega)
+		if lu == nil {
+			var err error
+			lu, err = FactorizeComplex(cm, order, DefaultPivotTolerance)
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else if err := lu.Refactor(cm); err != nil {
+			t.Fatal(err)
+		}
+		lu.Solve(b, x)
+		cm.MulVec(x, r)
+		for i := range r {
+			if cmplx.Abs(r[i]-b[i]) > 1e-8*(1+cmplx.Abs(b[i])) {
+				t.Fatalf("f=%g: residual[%d] = %v", freq, i, r[i]-b[i])
+			}
+		}
+	}
+}
+
+func TestComplexSingular(t *testing.T) {
+	g := FromDense([][]float64{{1, 1}, {1, 1}})
+	c := g.Clone() // zero values
+	cm := NewComplexFromPattern(g)
+	cm.Fill(g, c, 1)
+	if _, err := FactorizeComplex(cm, []int{0, 1}, DefaultPivotTolerance); err == nil {
+		t.Fatal("singular complex matrix must fail")
+	}
+}

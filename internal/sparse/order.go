@@ -1,0 +1,214 @@
+package sparse
+
+import "container/heap"
+
+// Ordering identifies a fill-reducing column preordering strategy.
+type Ordering int
+
+const (
+	// OrderMinDegree is a minimum-degree ordering on the symmetrized
+	// pattern A + Aᵀ (the default; best general fill reduction here).
+	OrderMinDegree Ordering = iota
+	// OrderRCM is reverse Cuthill–McKee bandwidth reduction.
+	OrderRCM
+	// OrderNatural keeps the natural 0..n-1 order.
+	OrderNatural
+)
+
+// String returns the ordering name.
+func (o Ordering) String() string {
+	switch o {
+	case OrderMinDegree:
+		return "min-degree"
+	case OrderRCM:
+		return "rcm"
+	case OrderNatural:
+		return "natural"
+	default:
+		return "unknown"
+	}
+}
+
+// ComputeOrdering returns a permutation perm where perm[k] is the original
+// index eliminated at step k.
+func ComputeOrdering(m *Matrix, o Ordering) []int {
+	switch o {
+	case OrderRCM:
+		return rcm(m.SymmetrizedAdjacency())
+	case OrderNatural:
+		perm := make([]int, m.N())
+		for i := range perm {
+			perm[i] = i
+		}
+		return perm
+	default:
+		return minDegree(m.SymmetrizedAdjacency())
+	}
+}
+
+type mdItem struct {
+	node, degree, pos int
+}
+
+type mdHeap []*mdItem
+
+func (h mdHeap) Len() int { return len(h) }
+func (h mdHeap) Less(i, j int) bool {
+	if h[i].degree != h[j].degree {
+		return h[i].degree < h[j].degree
+	}
+	return h[i].node < h[j].node // deterministic tie-break
+}
+func (h mdHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].pos, h[j].pos = i, j
+}
+func (h *mdHeap) Push(x any) {
+	it := x.(*mdItem)
+	it.pos = len(*h)
+	*h = append(*h, it)
+}
+func (h *mdHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// minDegree performs classic minimum-degree elimination on an undirected
+// adjacency structure: repeatedly eliminate the node of smallest current
+// degree and turn its neighbourhood into a clique. Adjacency is kept as
+// hash sets, which is simple and adequate for the circuit sizes exercised
+// here (up to a few tens of thousands of nodes on mesh-like graphs).
+func minDegree(adj [][]int) []int {
+	n := len(adj)
+	nbr := make([]map[int]bool, n)
+	for i, a := range adj {
+		nbr[i] = make(map[int]bool, len(a))
+		for _, j := range a {
+			nbr[i][j] = true
+		}
+	}
+	items := make([]*mdItem, n)
+	h := make(mdHeap, 0, n)
+	for i := 0; i < n; i++ {
+		items[i] = &mdItem{node: i, degree: len(nbr[i])}
+		heap.Push(&h, items[i])
+	}
+	perm := make([]int, 0, n)
+	eliminated := make([]bool, n)
+	for h.Len() > 0 {
+		it := heap.Pop(&h).(*mdItem)
+		v := it.node
+		if eliminated[v] {
+			continue
+		}
+		eliminated[v] = true
+		perm = append(perm, v)
+		// Collect live neighbours and form the elimination clique.
+		live := make([]int, 0, len(nbr[v]))
+		for u := range nbr[v] {
+			if !eliminated[u] {
+				live = append(live, u)
+			}
+		}
+		for _, u := range live {
+			delete(nbr[u], v)
+		}
+		for a := 0; a < len(live); a++ {
+			for b := a + 1; b < len(live); b++ {
+				u, w := live[a], live[b]
+				if !nbr[u][w] {
+					nbr[u][w] = true
+					nbr[w][u] = true
+				}
+			}
+		}
+		for _, u := range live {
+			if d := len(nbr[u]); d != items[u].degree {
+				items[u].degree = d
+				heap.Fix(&h, items[u].pos)
+			}
+		}
+		nbr[v] = nil
+	}
+	return perm
+}
+
+// rcm computes the reverse Cuthill–McKee ordering of an undirected graph,
+// processing each connected component from a pseudo-peripheral start node.
+func rcm(adj [][]int) []int {
+	n := len(adj)
+	visited := make([]bool, n)
+	order := make([]int, 0, n)
+	degree := func(v int) int { return len(adj[v]) }
+	for start := 0; start < n; start++ {
+		if visited[start] {
+			continue
+		}
+		s := pseudoPeripheral(adj, start)
+		// BFS with neighbours sorted by ascending degree.
+		queue := []int{s}
+		visited[s] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			next := make([]int, 0, len(adj[v]))
+			for _, u := range adj[v] {
+				if !visited[u] {
+					visited[u] = true
+					next = append(next, u)
+				}
+			}
+			// insertion sort by degree: neighbour lists are short
+			for i := 1; i < len(next); i++ {
+				for j := i; j > 0 && degree(next[j]) < degree(next[j-1]); j-- {
+					next[j], next[j-1] = next[j-1], next[j]
+				}
+			}
+			queue = append(queue, next...)
+		}
+	}
+	// Reverse.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// pseudoPeripheral finds a node of (approximately) maximal eccentricity in
+// the component of start by repeated BFS to the farthest minimum-degree node.
+func pseudoPeripheral(adj [][]int, start int) int {
+	cur := start
+	curEcc := -1
+	for {
+		far, ecc := bfsFarthest(adj, cur)
+		if ecc <= curEcc {
+			return cur
+		}
+		cur, curEcc = far, ecc
+	}
+}
+
+func bfsFarthest(adj [][]int, s int) (node, ecc int) {
+	dist := map[int]int{s: 0}
+	queue := []int{s}
+	node, ecc = s, 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range adj[v] {
+			if _, ok := dist[u]; !ok {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+				if dist[u] > ecc || (dist[u] == ecc && len(adj[u]) < len(adj[node])) {
+					node, ecc = u, dist[u]
+				}
+			}
+		}
+	}
+	return node, ecc
+}

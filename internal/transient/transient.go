@@ -1,0 +1,520 @@
+// Package transient implements the serial adaptive-step transient engine —
+// the baseline WavePipe is measured against — plus the single-point solver
+// machinery (predictor, Newton solve, charge bookkeeping) shared with the
+// parallel engines.
+package transient
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"wavepipe/internal/circuit"
+	"wavepipe/internal/dcop"
+	"wavepipe/internal/integrate"
+	"wavepipe/internal/newton"
+	"wavepipe/internal/num"
+	"wavepipe/internal/waveform"
+)
+
+// debugSteps enables step-decision tracing (tests/diagnostics only).
+var debugSteps = os.Getenv("WAVEPIPE_DEBUG") != ""
+
+// Breakpointer is implemented by devices whose waveforms have slope
+// discontinuities the engine must land on exactly.
+type Breakpointer interface {
+	Breakpoints(stop float64) []float64
+}
+
+// Options configures a transient analysis.
+type Options struct {
+	TStop   float64           // end of the simulation window (required)
+	Method  integrate.Method  // integration method (default Gear2)
+	HInit   float64           // first step (default TStop·1e-6)
+	Control integrate.Control // zero value → integrate.DefaultControl(TStop)
+	Newton  newton.Options    // zero value → newton.DefaultOptions()
+	Gmin    float64           // junction shunt (default 1e-12)
+	// UIC skips the DC operating point and starts from the IC values
+	// (unspecified nodes start at 0), like SPICE's .TRAN ... UIC.
+	UIC bool
+	// IC maps solution-vector indices to initial values (used with UIC).
+	IC map[int]float64
+	// NodeSet maps solution-vector indices to operating-point initial
+	// guesses (.NODESET): they seed Newton but are not enforced.
+	NodeSet map[int]float64
+	// Record lists solution-vector indices to store in the result waveform
+	// set; nil records every node voltage.
+	Record []int
+	// MaxPoints aborts runaway simulations (default 2 000 000).
+	MaxPoints int
+	// DCOp configures the operating-point search.
+	DCOp dcop.Options
+	// NoLTE disables truncation-error step control (fixed conservative
+	// stepping; used by ablation experiments).
+	NoLTE bool
+	// GrowthCapOverride, when > 0, replaces Control.GrowthCap (ablation).
+	GrowthCapOverride float64
+	// LoadWorkers > 1 enables fine-grained parallel device evaluation
+	// inside every assembly pass (the conventional parallel-SPICE baseline).
+	LoadWorkers int
+}
+
+func (o Options) WithDefaults() Options {
+	if o.Method == 0 {
+		o.Method = integrate.Gear2
+	}
+	if o.HInit <= 0 {
+		o.HInit = o.TStop * 1e-6
+	}
+	if o.Control == (integrate.Control{}) {
+		o.Control = integrate.DefaultControl(o.TStop)
+	}
+	if o.GrowthCapOverride > 0 {
+		o.Control.GrowthCap = o.GrowthCapOverride
+	}
+	if o.Newton.MaxIter == 0 {
+		o.Newton = newton.DefaultOptions()
+	}
+	if o.Gmin <= 0 {
+		o.Gmin = 1e-12
+	}
+	if o.MaxPoints <= 0 {
+		o.MaxPoints = 2_000_000
+	}
+	if o.DCOp.GminSteps == 0 {
+		o.DCOp = dcop.DefaultOptions()
+	}
+	return o
+}
+
+// Stats aggregates the work a transient run performed.
+type Stats struct {
+	Points     int // accepted time points
+	Solves     int // Newton point solves attempted (incl. rejected/discarded)
+	NRIters    int // total Newton iterations
+	LTERejects int // points rejected by truncation-error control
+	NRFailures int // Newton non-convergence retries
+	Discarded  int // speculative points thrown away (parallel engines)
+	OpIters    int // operating-point Newton iterations
+	Stages     int // sequential solve rounds on the critical path
+	// CriticalNanos is the modeled multi-core wall-clock time: per pipeline
+	// stage, the slowest concurrent worker's measured compute time. For the
+	// serial engine it equals the sum of all point-solve times. This is the
+	// timing model used to report speedups on hosts with fewer cores than
+	// worker threads (see DESIGN.md, hardware substitution).
+	CriticalNanos int64
+}
+
+// Add accumulates other into s (used to merge per-worker stats).
+func (s *Stats) Add(other Stats) {
+	s.Points += other.Points
+	s.Solves += other.Solves
+	s.NRIters += other.NRIters
+	s.LTERejects += other.LTERejects
+	s.NRFailures += other.NRFailures
+	s.Discarded += other.Discarded
+	s.OpIters += other.OpIters
+	s.Stages += other.Stages
+	s.CriticalNanos += other.CriticalNanos
+}
+
+// Result is the outcome of a transient analysis.
+type Result struct {
+	W      *waveform.Set
+	Stats  Stats
+	FinalX []float64
+}
+
+// PointSolver computes implicit solutions at single time points on one
+// workspace. One PointSolver must be used by at most one goroutine.
+type PointSolver struct {
+	WS     *circuit.Workspace
+	Method integrate.Method
+	Newton newton.Options
+	Gmin   float64
+	Stats  Stats
+	// LastNanos is the modeled compute time of the most recent SolveAt,
+	// WarmStart or ResumeAt call: measured wall time, with the device-load
+	// wall time replaced by its parallel critical path when sharded loading
+	// is on. LastIters is the Newton iteration count of that call.
+	LastNanos int64
+	LastIters int
+
+	qhist, r, dx []float64
+
+	// Warm-start bookkeeping for ResumeAt: the time point and Alpha0 the
+	// workspace's current assembly and factorization correspond to.
+	warmTime   float64
+	warmAlpha0 float64
+	warmValid  bool
+}
+
+// NewPointSolver allocates a solver on a fresh workspace of sys.
+func NewPointSolver(sys *circuit.System, method integrate.Method, nopts newton.Options, gmin float64) *PointSolver {
+	n := sys.N
+	return &PointSolver{
+		WS:     sys.NewWorkspace(),
+		Method: method,
+		Newton: nopts,
+		Gmin:   gmin,
+		qhist:  make([]float64, n),
+		r:      make([]float64, n),
+		dx:     make([]float64, n),
+	}
+}
+
+// Predict extrapolates the solution history polynomially to time t, writing
+// the initial Newton guess into dst. At most three trailing points are used
+// (quadratic prediction).
+func Predict(hist *integrate.History, t float64, dst []float64) {
+	pts := hist.Tail(3)
+	ts := make([]float64, len(pts))
+	xs := make([][]float64, len(pts))
+	for i, p := range pts {
+		ts[i] = p.T
+		xs[i] = p.X
+	}
+	num.PredictVectorAt(ts, xs, t, dst)
+}
+
+// SolveAt computes the converged solution at tNew using hist for the
+// integration formula. guess, when non-nil, seeds Newton (otherwise a
+// polynomial prediction from hist is used). It returns the new point and
+// the coefficients that produced it.
+func (ps *PointSolver) SolveAt(hist *integrate.History, tNew float64, guess []float64) (*integrate.Point, integrate.Coeffs, error) {
+	n := ps.WS.Sys.N
+	defer ps.model(time.Now(), ps.WS.LoadWallNanos, ps.WS.LoadCritNanos)
+	co, err := integrate.Compute(ps.Method, hist, tNew, ps.qhist)
+	if err != nil {
+		return nil, co, err
+	}
+	x := make([]float64, n)
+	if guess != nil {
+		copy(x, guess)
+	} else {
+		Predict(hist, tNew, x)
+	}
+	p := circuit.LoadParams{Time: tNew, Alpha0: co.Alpha0, Gmin: ps.Gmin, SrcScale: 1}
+	ps.Stats.Solves++
+	res, err := newton.Solve(ps.WS, x, p, ps.qhist, ps.Newton, ps.r, ps.dx)
+	ps.Stats.NRIters += res.Iters
+	if err != nil {
+		ps.Stats.NRFailures++
+		return nil, co, err
+	}
+	return ps.finishPoint(x, tNew, co), co, nil
+}
+
+// WarmStart runs up to maxIter Newton iterations at tNew against the given
+// (possibly speculative) history and returns the resulting approximation
+// regardless of convergence. Forward pipelining uses it to pre-iterate on a
+// predicted history while the true predecessor point is still being solved.
+func (ps *PointSolver) WarmStart(hist *integrate.History, tNew float64, maxIter int) []float64 {
+	n := ps.WS.Sys.N
+	defer ps.model(time.Now(), ps.WS.LoadWallNanos, ps.WS.LoadCritNanos)
+	ps.warmValid = false
+	co, err := integrate.Compute(ps.Method, hist, tNew, ps.qhist)
+	if err != nil {
+		return nil
+	}
+	x := make([]float64, n)
+	Predict(hist, tNew, x)
+	opts := ps.Newton
+	opts.MaxIter = maxIter
+	p := circuit.LoadParams{Time: tNew, Alpha0: co.Alpha0, Gmin: ps.Gmin, SrcScale: 1}
+	res, _ := newton.Solve(ps.WS, x, p, ps.qhist, opts, ps.r, ps.dx) // non-convergence is fine
+	ps.Stats.NRIters += res.Iters
+	// Leave the workspace assembled and factorized exactly at x so ResumeAt
+	// can pick the speculative work up with only a residual rebuild. The
+	// device assembly is history-independent; only qhist will change.
+	ps.WS.Load(x, p)
+	if err := ps.WS.Solver.Factorize(); err != nil {
+		return x
+	}
+	ps.warmTime = tNew
+	ps.warmAlpha0 = co.Alpha0
+	ps.warmValid = true
+	return x
+}
+
+// ResumeAt finishes a speculatively warm-started point against the true
+// history: if the stored assembly matches (same time point, same Alpha0 —
+// i.e. the predicted history had the same spacings), the first correction
+// costs one residual rebuild and triangular solve; otherwise it falls back
+// to a plain SolveAt.
+func (ps *PointSolver) ResumeAt(hist *integrate.History, tNew float64, warm []float64) (*integrate.Point, integrate.Coeffs, error) {
+	co, err := integrate.Compute(ps.Method, hist, tNew, ps.qhist)
+	if err != nil {
+		return nil, co, err
+	}
+	match := ps.warmValid && warm != nil && ps.warmTime == tNew &&
+		math.Abs(ps.warmAlpha0-co.Alpha0) <= 1e-9*math.Abs(co.Alpha0) &&
+		os.Getenv("WAVEPIPE_NO_RESUME") == ""
+	ps.warmValid = false
+	if !match {
+		return ps.SolveAt(hist, tNew, warm)
+	}
+	defer ps.model(time.Now(), ps.WS.LoadWallNanos, ps.WS.LoadCritNanos)
+	n := ps.WS.Sys.N
+	x := make([]float64, n)
+	copy(x, warm)
+	p := circuit.LoadParams{Time: tNew, Alpha0: co.Alpha0, Gmin: ps.Gmin, SrcScale: 1}
+	ps.Stats.Solves++
+	res, err := newton.ResumeSolve(ps.WS, x, p, ps.qhist, ps.Newton, ps.r, ps.dx)
+	ps.Stats.NRIters += res.Iters
+	if err != nil {
+		ps.Stats.NRFailures++
+		return nil, co, err
+	}
+	return ps.finishPoint(x, tNew, co), co, nil
+}
+
+// model records the modeled compute time of the finished call.
+func (ps *PointSolver) model(start time.Time, loadWall0, loadCrit0 int64) {
+	wall := time.Since(start).Nanoseconds()
+	loadWall := ps.WS.LoadWallNanos - loadWall0
+	loadCrit := ps.WS.LoadCritNanos - loadCrit0
+	ps.LastNanos = wall - loadWall + loadCrit
+	ps.Stats.CriticalNanos += ps.LastNanos
+}
+
+// finishPoint assembles once more at the converged solution so the stored
+// charge vector is exactly Q(x), then derives Qdot from the discretization.
+func (ps *PointSolver) finishPoint(x []float64, tNew float64, co integrate.Coeffs) *integrate.Point {
+	p := circuit.LoadParams{Time: tNew, Alpha0: co.Alpha0, Gmin: ps.Gmin, SrcScale: 1, NoLimit: true}
+	ps.WS.Load(x, p)
+	n := ps.WS.Sys.N
+	pt := &integrate.Point{
+		T:    tNew,
+		X:    x,
+		Q:    num.Copy(ps.WS.Q),
+		Qdot: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		pt.Qdot[i] = co.Alpha0*pt.Q[i] + ps.qhist[i]
+	}
+	return pt
+}
+
+// InitialPoint computes the t = 0 point: a DC operating point (or the UIC
+// initial conditions) with its charge vector.
+func InitialPoint(sys *circuit.System, ps *PointSolver, opts Options) (*integrate.Point, error) {
+	n := sys.N
+	x := make([]float64, n)
+	if opts.UIC {
+		for idx, v := range opts.IC {
+			if idx < 0 || idx >= n {
+				return nil, fmt.Errorf("transient: IC index %d out of range", idx)
+			}
+			x[idx] = v
+		}
+	} else {
+		op := opts.DCOp
+		if len(opts.NodeSet) > 0 && op.NodeSet == nil {
+			op.NodeSet = opts.NodeSet
+		}
+		st, err := dcop.Solve(ps.WS, x, op)
+		ps.Stats.OpIters += st.NRIters
+		if err != nil {
+			return nil, fmt.Errorf("transient: operating point: %w", err)
+		}
+		// .IC overrides on top of the operating point (SPICE applies them
+		// as node constraints; overriding is the common simplification).
+		for idx, v := range opts.IC {
+			if idx >= 0 && idx < n {
+				x[idx] = v
+			}
+		}
+	}
+	ps.WS.Load(x, circuit.LoadParams{Time: 0, Alpha0: 0, Gmin: opts.Gmin, SrcScale: 1})
+	return &integrate.Point{
+		T:    0,
+		X:    x,
+		Q:    num.Copy(ps.WS.Q),
+		Qdot: make([]float64, n),
+	}, nil
+}
+
+// CollectBreakpoints gathers the waveform breakpoints of every device, plus
+// tstop itself, sorted and deduplicated.
+func CollectBreakpoints(sys *circuit.System, tstop float64) []float64 {
+	var bps []float64
+	for _, d := range sys.Circuit.Devices() {
+		if b, ok := d.(Breakpointer); ok {
+			bps = append(bps, b.Breakpoints(tstop)...)
+		}
+	}
+	bps = append(bps, tstop)
+	sort.Float64s(bps)
+	out := bps[:0]
+	prev := math.Inf(-1)
+	for _, t := range bps {
+		if t > prev+1e-15*tstop && t > 0 {
+			out = append(out, t)
+			prev = t
+		}
+	}
+	return out
+}
+
+// DefaultRecord returns the record list for nil Options.Record: every node
+// voltage.
+func DefaultRecord(sys *circuit.System) ([]string, []int) {
+	names := make([]string, sys.NumNodes)
+	idx := make([]int, sys.NumNodes)
+	for i := 0; i < sys.NumNodes; i++ {
+		names[i] = sys.Circuit.NodeName(i)
+		idx[i] = i
+	}
+	return names, idx
+}
+
+// RecordSet builds the waveform set for the given options.
+func RecordSet(sys *circuit.System, opts Options) *waveform.Set {
+	if opts.Record == nil {
+		names, idx := DefaultRecord(sys)
+		return waveform.NewSet(names, idx)
+	}
+	names := make([]string, len(opts.Record))
+	for i, idx := range opts.Record {
+		if idx < sys.NumNodes {
+			names[i] = sys.Circuit.NodeName(idx)
+		} else {
+			names[i] = fmt.Sprintf("branch%d", idx-sys.NumNodes)
+		}
+	}
+	return waveform.NewSet(names, opts.Record)
+}
+
+// RestartStep sizes the first step after a waveform breakpoint: a small
+// fraction of the gap to the next breakpoint, no larger than the last
+// accepted step (the pre-edge dynamics bound what the circuit can follow),
+// and never below the configured initial step.
+func RestartStep(gap, lastStep, hInit float64, ctrl integrate.Control) float64 {
+	h := gap / 4
+	if lastStep > 0 && h > lastStep {
+		h = lastStep
+	}
+	if h < hInit {
+		h = hInit
+	}
+	return num.Clamp(h, ctrl.HMin, ctrl.HMax)
+}
+
+// Run executes the serial adaptive transient analysis.
+func Run(sys *circuit.System, opts Options) (*Result, error) {
+	if opts.TStop <= 0 {
+		return nil, fmt.Errorf("transient: TStop must be positive")
+	}
+	opts = opts.WithDefaults()
+	ctrl := opts.Control
+	ps := NewPointSolver(sys, opts.Method, opts.Newton, opts.Gmin)
+	if opts.LoadWorkers > 1 {
+		ps.WS.SetLoadWorkers(opts.LoadWorkers)
+	}
+
+	p0, err := InitialPoint(sys, ps, opts)
+	if err != nil {
+		return nil, err
+	}
+	hist := &integrate.History{}
+	hist.Add(p0)
+	w := RecordSet(sys, opts)
+	w.Append(p0.T, p0.X)
+
+	bps := CollectBreakpoints(sys, opts.TStop)
+	nextBp := 0
+	h := math.Min(opts.HInit, ctrl.HMax)
+	t := 0.0
+	hUsed := 0.0
+	afterBreak := true // the t=0 point counts as a breakpoint start
+
+	for t < opts.TStop*(1-1e-12) {
+		if ps.Stats.Points >= opts.MaxPoints {
+			return nil, fmt.Errorf("transient: exceeded %d points at t=%g", opts.MaxPoints, t)
+		}
+		// Advance past consumed breakpoints.
+		for nextBp < len(bps) && bps[nextBp] <= t*(1+1e-12) {
+			nextBp++
+		}
+		tLimit := opts.TStop
+		if nextBp < len(bps) {
+			tLimit = bps[nextBp]
+		}
+		hitBp := false
+		tNew := t + h
+		// Clamp onto the breakpoint when the step lands within 1% of it —
+		// step-relative, so a shrinking step can always move the candidate
+		// off the breakpoint (a limit-relative smudge can exceed tiny steps
+		// and trap the rejection loop).
+		if tNew >= tLimit-0.01*h {
+			tNew = tLimit
+			hitBp = true
+		}
+
+		pt, co, err := ps.SolveAt(hist, tNew, nil)
+		if err != nil {
+			h /= 8
+			if h < ctrl.HMin {
+				return nil, fmt.Errorf("transient: time step too small at t=%g: %w", t, err)
+			}
+			continue
+		}
+
+		// LTE acceptance (the norm is also what sizes the next step). With
+		// too little history (right after breakpoints) the norm is 0 and
+		// the point is accepted, as in SPICE.
+		norm := 0.0
+		if !opts.NoLTE {
+			pts := append(hist.Tail(co.Order+1), pt)
+			norm = ctrl.CheckLTE(ps.Method, co.Order, pts, co.H0, co.H1)
+			if norm > 1 && co.H0 > ctrl.HMin*1.01 && !afterBreak {
+				ps.Stats.LTERejects++
+				h = ctrl.ShrinkOnReject(co.H0, norm, co.Order)
+				continue
+			}
+		}
+
+		hist.Add(pt)
+		w.Append(pt.T, pt.X)
+		ps.Stats.Points++
+		t = pt.T
+		hUsed = co.H0
+
+		if hitBp {
+			// Restart integration after the discontinuity: derivative
+			// history is invalid, so truncate it and re-enter with a step
+			// sized from the upcoming breakpoint gap (clamped by the last
+			// step), as SPICE does. LTE control resumes as soon as enough
+			// history accumulates.
+			hist.Truncate()
+			gap := opts.TStop - t
+			for _, bp := range bps[nextBp:] {
+				if bp > t*(1+1e-12) {
+					gap = bp - t
+					break
+				}
+			}
+			h = RestartStep(gap, hUsed, opts.HInit, ctrl)
+			afterBreak = true
+			continue
+		}
+		afterBreak = false
+
+		// Choose the next step from the accepted point's LTE norm.
+		if opts.NoLTE {
+			h = ctrl.ClampStep(hUsed, hUsed)
+			continue
+		}
+		h = ctrl.ClampStep(ctrl.NextStep(ps.Method, co.Order, norm, hUsed, co.H1, hUsed), hUsed)
+		if debugSteps {
+			fmt.Printf("ser t=%.5g hUsed=%.3g norm=%.3g h1S=%.3g -> h=%.3g\n", t, hUsed, norm, co.H1, h)
+		}
+	}
+
+	last := hist.Last()
+	ps.Stats.Stages = ps.Stats.Solves // serial: every solve is sequential
+	return &Result{W: w, Stats: ps.Stats, FinalX: num.Copy(last.X)}, nil
+}

@@ -1,0 +1,77 @@
+package waveform
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFourierPureSine(t *testing.T) {
+	f0 := 1e3
+	s := ramp(func(tv float64) float64 {
+		return 2 + 3*math.Sin(2*math.Pi*f0*tv)
+	}, 3e-3, 3000)
+	f, err := s.FourierAnalyze("x", f0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.DC-2) > 1e-3 {
+		t.Fatalf("DC = %g, want 2", f.DC)
+	}
+	if math.Abs(f.Magnitude[0]-3) > 0.01 {
+		t.Fatalf("fundamental = %g, want 3", f.Magnitude[0])
+	}
+	for k := 1; k < 5; k++ {
+		if f.Magnitude[k] > 0.01 {
+			t.Fatalf("harmonic %d = %g, want ≈0", k+1, f.Magnitude[k])
+		}
+	}
+	if f.THD > 0.01 {
+		t.Fatalf("THD = %g", f.THD)
+	}
+}
+
+func TestFourierSquareWave(t *testing.T) {
+	// Odd harmonics at 1/k of the fundamental (4/π amplitude), THD ≈ 43%.
+	f0 := 100.0
+	s := ramp(func(tv float64) float64 {
+		if math.Mod(tv*f0, 1) < 0.5 {
+			return 1
+		}
+		return -1
+	}, 0.03, 30000)
+	f, err := s.FourierAnalyze("x", f0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fund := 4 / math.Pi
+	if math.Abs(f.Magnitude[0]-fund) > 0.02 {
+		t.Fatalf("fundamental = %g, want %g", f.Magnitude[0], fund)
+	}
+	if math.Abs(f.Magnitude[2]-fund/3) > 0.02 {
+		t.Fatalf("3rd harmonic = %g, want %g", f.Magnitude[2], fund/3)
+	}
+	if f.Magnitude[1] > 0.02 {
+		t.Fatalf("2nd harmonic = %g, want ≈0", f.Magnitude[1])
+	}
+	// THD with harmonics up to 9: sqrt(sum 1/k² for odd k≥3) ≈ 0.4248.
+	want := math.Sqrt(1.0/9 + 1.0/25 + 1.0/49 + 1.0/81)
+	if math.Abs(f.THD-want) > 0.02 {
+		t.Fatalf("THD = %g, want ≈%g", f.THD, want)
+	}
+}
+
+func TestFourierErrors(t *testing.T) {
+	s := ramp(func(tv float64) float64 { return tv }, 1e-3, 100)
+	if _, err := s.FourierAnalyze("zzz", 1e3, 3); err == nil {
+		t.Fatal("unknown signal")
+	}
+	if _, err := s.FourierAnalyze("x", 0, 3); err == nil {
+		t.Fatal("zero frequency")
+	}
+	if _, err := s.FourierAnalyze("x", 1e3, 0); err == nil {
+		t.Fatal("zero harmonics")
+	}
+	if _, err := s.FourierAnalyze("x", 100, 3); err == nil {
+		t.Fatal("window shorter than a period")
+	}
+}

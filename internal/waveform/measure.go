@@ -1,0 +1,223 @@
+package waveform
+
+import (
+	"fmt"
+	"math"
+)
+
+// Measurements on recorded signals: the .MEASURE-style post-processing a
+// circuit simulator's users reach for first. All functions interpolate
+// linearly between samples.
+
+// CrossingTimes returns the times at which the named signal crosses level
+// in the given direction: +1 rising, −1 falling, 0 both.
+func (s *Set) CrossingTimes(name string, level float64, direction int) ([]float64, error) {
+	j := s.SignalIndex(name)
+	if j < 0 {
+		return nil, fmt.Errorf("waveform: no signal %q", name)
+	}
+	var out []float64
+	for i := 1; i < len(s.Times); i++ {
+		a, b := s.Data[i-1][j], s.Data[i][j]
+		rising := a < level && b >= level
+		falling := a > level && b <= level
+		if (direction >= 0 && rising) || (direction <= 0 && falling) {
+			f := (level - a) / (b - a)
+			out = append(out, s.Times[i-1]+f*(s.Times[i]-s.Times[i-1]))
+		}
+	}
+	return out, nil
+}
+
+// RiseTime returns the 10%–90% rise time of the first low-to-high
+// transition between the signal's minimum and maximum.
+func (s *Set) RiseTime(name string) (float64, error) {
+	lo, hi, err := s.Extremes(name)
+	if err != nil {
+		return 0, err
+	}
+	if hi-lo <= 0 {
+		return 0, fmt.Errorf("waveform: %q has no swing", name)
+	}
+	t10, err := s.CrossingTimes(name, lo+0.1*(hi-lo), +1)
+	if err != nil || len(t10) == 0 {
+		return 0, fmt.Errorf("waveform: %q never crosses 10%%", name)
+	}
+	t90, err := s.CrossingTimes(name, lo+0.9*(hi-lo), +1)
+	if err != nil || len(t90) == 0 {
+		return 0, fmt.Errorf("waveform: %q never crosses 90%%", name)
+	}
+	for _, t9 := range t90 {
+		if t9 > t10[0] {
+			return t9 - t10[0], nil
+		}
+	}
+	return 0, fmt.Errorf("waveform: %q has no completed rise", name)
+}
+
+// Extremes returns the minimum and maximum of the named signal.
+func (s *Set) Extremes(name string) (lo, hi float64, err error) {
+	sig, err := s.Signal(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range sig {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return lo, hi, nil
+}
+
+// Delay returns the time from the reference signal's mid-level crossing to
+// the target signal's next mid-level crossing (propagation delay), using
+// each signal's own mid-swing level and the given edge directions.
+func (s *Set) Delay(from string, fromDir int, to string, toDir int) (float64, error) {
+	fl, fh, err := s.Extremes(from)
+	if err != nil {
+		return 0, err
+	}
+	tl, th, err := s.Extremes(to)
+	if err != nil {
+		return 0, err
+	}
+	fc, err := s.CrossingTimes(from, (fl+fh)/2, fromDir)
+	if err != nil || len(fc) == 0 {
+		return 0, fmt.Errorf("waveform: %q has no reference edge", from)
+	}
+	tc, err := s.CrossingTimes(to, (tl+th)/2, toDir)
+	if err != nil {
+		return 0, err
+	}
+	for _, t := range tc {
+		if t > fc[0] {
+			return t - fc[0], nil
+		}
+	}
+	return 0, fmt.Errorf("waveform: %q has no edge after %q's", to, from)
+}
+
+// Frequency estimates the signal's fundamental frequency from its rising
+// mid-level crossings over the window [tmin, ∞).
+func (s *Set) Frequency(name string, tmin float64) (float64, error) {
+	lo, hi, err := s.Extremes(name)
+	if err != nil {
+		return 0, err
+	}
+	crossings, err := s.CrossingTimes(name, (lo+hi)/2, +1)
+	if err != nil {
+		return 0, err
+	}
+	var used []float64
+	for _, t := range crossings {
+		if t >= tmin {
+			used = append(used, t)
+		}
+	}
+	if len(used) < 2 {
+		return 0, fmt.Errorf("waveform: %q has fewer than two periods after %g", name, tmin)
+	}
+	period := (used[len(used)-1] - used[0]) / float64(len(used)-1)
+	return 1 / period, nil
+}
+
+// Overshoot returns the fractional overshoot of the first rising step:
+// (peak − final) / (final − initial), where final is the value at the last
+// sample.
+func (s *Set) Overshoot(name string) (float64, error) {
+	sig, err := s.Signal(name)
+	if err != nil {
+		return 0, err
+	}
+	if len(sig) < 2 {
+		return 0, fmt.Errorf("waveform: %q too short", name)
+	}
+	initial, final := sig[0], sig[len(sig)-1]
+	if final == initial {
+		return 0, fmt.Errorf("waveform: %q has no step", name)
+	}
+	peak := initial
+	for _, v := range sig {
+		if (final > initial && v > peak) || (final < initial && v < peak) {
+			peak = v
+		}
+	}
+	return (peak - final) / (final - initial), nil
+}
+
+// SettlingTime returns the earliest time after which the signal stays
+// within ±band·|final − initial| of its final value.
+func (s *Set) SettlingTime(name string, band float64) (float64, error) {
+	sig, err := s.Signal(name)
+	if err != nil {
+		return 0, err
+	}
+	if len(sig) < 2 {
+		return 0, fmt.Errorf("waveform: %q too short", name)
+	}
+	final := sig[len(sig)-1]
+	tol := band * math.Abs(final-sig[0])
+	if tol == 0 {
+		return s.Times[0], nil
+	}
+	settle := s.Times[0]
+	inside := math.Abs(sig[0]-final) <= tol
+	for i, v := range sig {
+		if math.Abs(v-final) > tol {
+			inside = false
+		} else if !inside {
+			inside = true
+			settle = s.Times[i]
+		}
+	}
+	if !inside {
+		return 0, fmt.Errorf("waveform: %q never settles within %g", name, band)
+	}
+	return settle, nil
+}
+
+// RMS returns the root-mean-square value of the signal over [t0, t1],
+// integrating trapezoidally on the sample grid.
+func (s *Set) RMS(name string, t0, t1 float64) (float64, error) {
+	j := s.SignalIndex(name)
+	if j < 0 {
+		return 0, fmt.Errorf("waveform: no signal %q", name)
+	}
+	if t1 <= t0 {
+		return 0, fmt.Errorf("waveform: empty RMS window")
+	}
+	sum := 0.0
+	for i := 1; i < len(s.Times); i++ {
+		a := math.Max(s.Times[i-1], t0)
+		b := math.Min(s.Times[i], t1)
+		if b <= a {
+			continue
+		}
+		va := s.atIndex(j, a)
+		vb := s.atIndex(j, b)
+		sum += (va*va + vb*vb) / 2 * (b - a)
+	}
+	return math.Sqrt(sum / (t1 - t0)), nil
+}
+
+// Resample returns a copy of the set sampled uniformly every dt (SPICE's
+// TSTEP output semantics), linearly interpolated.
+func (s *Set) Resample(dt float64) (*Set, error) {
+	if dt <= 0 || s.Len() == 0 {
+		return nil, fmt.Errorf("waveform: invalid resample interval")
+	}
+	out := NewSet(s.Names, s.Index)
+	// Resampled sets index their own rows directly.
+	out.Index = make([]int, len(s.Names))
+	for i := range out.Index {
+		out.Index[i] = i
+	}
+	row := make([]float64, len(s.Names))
+	for t := s.Times[0]; t <= s.Times[s.Len()-1]*(1+1e-12); t += dt {
+		for j := range s.Names {
+			row[j] = s.atIndex(j, t)
+		}
+		out.Append(t, row)
+	}
+	return out, nil
+}

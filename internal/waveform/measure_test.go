@@ -1,0 +1,171 @@
+package waveform
+
+import (
+	"math"
+	"testing"
+)
+
+// ramp builds a signal set from a function sampled at n points over [0, T].
+func ramp(f func(float64) float64, T float64, n int) *Set {
+	s := NewSet([]string{"x"}, []int{0})
+	for i := 0; i <= n; i++ {
+		t := T * float64(i) / float64(n)
+		s.Append(t, []float64{f(t)})
+	}
+	return s
+}
+
+func TestCrossingTimes(t *testing.T) {
+	s := ramp(func(t float64) float64 { return math.Sin(2 * math.Pi * t) }, 2, 400)
+	rising, err := s.CrossingTimes("x", 0, +1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sin crosses zero rising at t = 1; the start (t = 0) is not a crossing
+	// because a < level is required strictly, and the end point lands an
+	// ulp below zero.
+	if len(rising) != 1 || math.Abs(rising[0]-1) > 0.01 {
+		t.Fatalf("rising = %v", rising)
+	}
+	falling, _ := s.CrossingTimes("x", 0, -1)
+	if len(falling) != 2 || math.Abs(falling[0]-0.5) > 0.01 {
+		t.Fatalf("falling = %v", falling)
+	}
+	both, _ := s.CrossingTimes("x", 0, 0)
+	if len(both) != 3 {
+		t.Fatalf("both = %v", both)
+	}
+	if _, err := s.CrossingTimes("zzz", 0, 0); err == nil {
+		t.Fatal("unknown signal")
+	}
+}
+
+func TestRiseTimeOnExponential(t *testing.T) {
+	// 1 − e^{−t/τ}: 10–90% rise time = τ·ln9.
+	tau := 1e-3
+	s := ramp(func(t float64) float64 { return 1 - math.Exp(-t/tau) }, 8e-3, 2000)
+	rt, err := s.RiseTime("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tau * math.Log(9)
+	if math.Abs(rt-want) > 0.02*want {
+		t.Fatalf("rise time = %g, want %g", rt, want)
+	}
+	flat := ramp(func(float64) float64 { return 1 }, 1, 10)
+	if _, err := flat.RiseTime("x"); err == nil {
+		t.Fatal("flat signal must error")
+	}
+}
+
+func TestDelayBetweenSignals(t *testing.T) {
+	s := NewSet([]string{"a", "b"}, []int{0, 1})
+	for i := 0; i <= 100; i++ {
+		t1 := float64(i) * 0.01
+		a := 0.0
+		if t1 > 0.2 {
+			a = 1
+		}
+		b := 0.0
+		if t1 > 0.45 {
+			b = 1
+		}
+		s.Append(t1, []float64{a, b})
+	}
+	d, err := s.Delay("a", +1, "b", +1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.25) > 0.02 {
+		t.Fatalf("delay = %g, want 0.25", d)
+	}
+	if _, err := s.Delay("b", +1, "a", +1); err == nil {
+		t.Fatal("no later edge must error")
+	}
+}
+
+func TestFrequencyOfSine(t *testing.T) {
+	s := ramp(func(t float64) float64 { return math.Sin(2 * math.Pi * 50 * t) }, 0.1, 4000)
+	f, err := s.Frequency("x", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-50) > 0.1 {
+		t.Fatalf("frequency = %g, want 50", f)
+	}
+	if _, err := s.Frequency("x", 0.099); err == nil {
+		t.Fatal("too-short window must error")
+	}
+}
+
+func TestOvershootAndSettling(t *testing.T) {
+	// Underdamped second-order step: x = 1 − e^{−ζω t}·cos(ωd t)-ish; use a
+	// simple damped cosine form with known first peak.
+	zeta, w := 0.2, 2*math.Pi*10
+	wd := w * math.Sqrt(1-zeta*zeta)
+	f := func(t float64) float64 {
+		return 1 - math.Exp(-zeta*w*t)*math.Cos(wd*t)
+	}
+	s := ramp(f, 2.0, 8000)
+	ov, err := s.Overshoot("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First peak of this form: 1 + e^{−ζω·T/2} with T = 2π/wd.
+	want := math.Exp(-zeta * w * math.Pi / wd)
+	if math.Abs(ov-want) > 0.03 {
+		t.Fatalf("overshoot = %g, want ≈%g", ov, want)
+	}
+	st, err := s.SettlingTime("x", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After st, the envelope e^{−ζωt} must be below the band.
+	if env := math.Exp(-zeta * w * st); env > 0.05 {
+		t.Fatalf("settling time %g too early (envelope %g)", st, env)
+	}
+	if st <= 0 || st > 1 {
+		t.Fatalf("settling time = %g", st)
+	}
+}
+
+func TestRMSOfSine(t *testing.T) {
+	s := ramp(func(t float64) float64 { return 5 * math.Sin(2*math.Pi*100*t) }, 0.05, 20000)
+	rms, err := s.RMS("x", 0, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 5 / math.Sqrt2
+	if math.Abs(rms-want) > 0.01*want {
+		t.Fatalf("RMS = %g, want %g", rms, want)
+	}
+	if _, err := s.RMS("x", 1, 0); err == nil {
+		t.Fatal("empty window must error")
+	}
+	if _, err := s.RMS("zzz", 0, 1); err == nil {
+		t.Fatal("unknown signal must error")
+	}
+}
+
+func TestResample(t *testing.T) {
+	s := ramp(func(t float64) float64 { return 3 * t }, 1, 7) // uneven-ish grid
+	out, err := s.Resample(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 5 {
+		t.Fatalf("resampled to %d points", out.Len())
+	}
+	for i, tv := range out.Times {
+		if math.Abs(tv-0.25*float64(i)) > 1e-12 {
+			t.Fatalf("time grid = %v", out.Times)
+		}
+		v, _ := out.At("x", tv)
+		if math.Abs(v-3*tv) > 1e-9 {
+			t.Fatalf("value at %g = %g", tv, v)
+		}
+	}
+	if _, err := s.Resample(0); err == nil {
+		t.Fatal("zero interval must error")
+	}
+}

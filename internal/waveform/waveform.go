@@ -1,0 +1,212 @@
+// Package waveform stores simulation results as sampled signals and
+// provides the interpolation, comparison and export utilities used by the
+// accuracy experiments (WavePipe vs. serial reference).
+package waveform
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Set is a group of signals sampled on a shared, strictly increasing time
+// axis (the accepted time points of a transient run).
+type Set struct {
+	Names []string    // signal names, e.g. node names
+	Index []int       // solution-vector index of each signal
+	Times []float64   // sample times, ascending
+	Data  [][]float64 // Data[k][j] = signal j at Times[k]
+}
+
+// NewSet creates an empty set recording the given solution-vector indices.
+func NewSet(names []string, index []int) *Set {
+	if len(names) != len(index) {
+		panic("waveform: names and index length mismatch")
+	}
+	return &Set{Names: names, Index: index}
+}
+
+// Append records the selected entries of the full solution vector x at time
+// t. Samples must arrive in ascending time order.
+func (s *Set) Append(t float64, x []float64) {
+	if n := len(s.Times); n > 0 && t <= s.Times[n-1] {
+		panic(fmt.Sprintf("waveform: Append out of order: %g after %g", t, s.Times[n-1]))
+	}
+	row := make([]float64, len(s.Index))
+	for j, idx := range s.Index {
+		row[j] = x[idx]
+	}
+	s.Times = append(s.Times, t)
+	s.Data = append(s.Data, row)
+}
+
+// Len returns the number of samples.
+func (s *Set) Len() int { return len(s.Times) }
+
+// SignalIndex returns the column of the named signal, or -1.
+func (s *Set) SignalIndex(name string) int {
+	for j, n := range s.Names {
+		if n == name {
+			return j
+		}
+	}
+	return -1
+}
+
+// Signal returns the sample column of the named signal (shared slice of
+// per-row values, freshly allocated).
+func (s *Set) Signal(name string) ([]float64, error) {
+	j := s.SignalIndex(name)
+	if j < 0 {
+		return nil, fmt.Errorf("waveform: no signal %q", name)
+	}
+	out := make([]float64, len(s.Data))
+	for k, row := range s.Data {
+		out[k] = row[j]
+	}
+	return out, nil
+}
+
+// At returns the named signal linearly interpolated at time t, clamped to
+// the sampled range.
+func (s *Set) At(name string, t float64) (float64, error) {
+	j := s.SignalIndex(name)
+	if j < 0 {
+		return 0, fmt.Errorf("waveform: no signal %q", name)
+	}
+	return s.atIndex(j, t), nil
+}
+
+func (s *Set) atIndex(j int, t float64) float64 {
+	n := len(s.Times)
+	if n == 0 {
+		return 0
+	}
+	if t <= s.Times[0] {
+		return s.Data[0][j]
+	}
+	if t >= s.Times[n-1] {
+		return s.Data[n-1][j]
+	}
+	k := sort.SearchFloat64s(s.Times, t)
+	if s.Times[k] == t {
+		return s.Data[k][j]
+	}
+	t0, t1 := s.Times[k-1], s.Times[k]
+	f := (t - t0) / (t1 - t0)
+	return s.Data[k-1][j] + f*(s.Data[k][j]-s.Data[k-1][j])
+}
+
+// Deviation summarizes how far one waveform set is from a reference.
+type Deviation struct {
+	Max   float64 // max |a−b| over the comparison grid
+	RMS   float64 // root-mean-square |a−b|
+	Range float64 // peak-to-peak range of the reference signal
+}
+
+// RelMax returns the maximum deviation relative to the reference signal's
+// peak-to-peak range (0 when the reference is constant).
+func (d Deviation) RelMax() float64 {
+	if d.Range == 0 {
+		return 0
+	}
+	return d.Max / d.Range
+}
+
+// Compare computes the deviation of signal name between set a and reference
+// ref, sampled on the union of both time grids restricted to the
+// overlapping interval.
+func Compare(a, ref *Set, name string) (Deviation, error) {
+	ja := a.SignalIndex(name)
+	jr := ref.SignalIndex(name)
+	if ja < 0 || jr < 0 {
+		return Deviation{}, fmt.Errorf("waveform: signal %q missing from comparison", name)
+	}
+	if a.Len() == 0 || ref.Len() == 0 {
+		return Deviation{}, fmt.Errorf("waveform: empty set in comparison")
+	}
+	lo := math.Max(a.Times[0], ref.Times[0])
+	hi := math.Min(a.Times[a.Len()-1], ref.Times[ref.Len()-1])
+	if hi <= lo {
+		return Deviation{}, fmt.Errorf("waveform: no time overlap")
+	}
+	grid := make([]float64, 0, a.Len()+ref.Len())
+	for _, t := range a.Times {
+		if t >= lo && t <= hi {
+			grid = append(grid, t)
+		}
+	}
+	for _, t := range ref.Times {
+		if t >= lo && t <= hi {
+			grid = append(grid, t)
+		}
+	}
+	sort.Float64s(grid)
+	var dev Deviation
+	var sum float64
+	count := 0
+	rmin, rmax := math.Inf(1), math.Inf(-1)
+	prev := math.Inf(-1)
+	for _, t := range grid {
+		if t == prev {
+			continue
+		}
+		prev = t
+		va := a.atIndex(ja, t)
+		vr := ref.atIndex(jr, t)
+		d := math.Abs(va - vr)
+		if d > dev.Max {
+			dev.Max = d
+		}
+		sum += d * d
+		count++
+		rmin = math.Min(rmin, vr)
+		rmax = math.Max(rmax, vr)
+	}
+	dev.RMS = math.Sqrt(sum / float64(count))
+	dev.Range = rmax - rmin
+	return dev, nil
+}
+
+// WriteCSV writes the set as a CSV table with a time column.
+func (s *Set) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprint(w, "time"); err != nil {
+		return err
+	}
+	for _, n := range s.Names {
+		if _, err := fmt.Fprintf(w, ",%s", n); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for k, t := range s.Times {
+		if _, err := fmt.Fprintf(w, "%.12g", t); err != nil {
+			return err
+		}
+		for j := range s.Names {
+			if _, err := fmt.Fprintf(w, ",%.9g", s.Data[k][j]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StepSizes returns the sequence of time-step sizes of the set (length
+// Len()−1). Used by the step-size trace experiment.
+func (s *Set) StepSizes() []float64 {
+	if len(s.Times) < 2 {
+		return nil
+	}
+	out := make([]float64, len(s.Times)-1)
+	for i := 1; i < len(s.Times); i++ {
+		out[i-1] = s.Times[i] - s.Times[i-1]
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package waveform
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Set {
+	s := NewSet([]string{"a", "b"}, []int{0, 2})
+	s.Append(0, []float64{1, 99, 10})
+	s.Append(1, []float64{2, 99, 20})
+	s.Append(3, []float64{4, 99, 40})
+	return s
+}
+
+func TestAppendAndSignal(t *testing.T) {
+	s := sample()
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	a, err := s.Signal("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != 1 || a[2] != 4 {
+		t.Fatalf("signal a = %v", a)
+	}
+	b, _ := s.Signal("b")
+	if b[1] != 20 {
+		t.Fatalf("signal b = %v", b)
+	}
+	if _, err := s.Signal("zzz"); err == nil {
+		t.Fatal("unknown signal must error")
+	}
+	if s.SignalIndex("b") != 1 || s.SignalIndex("zzz") != -1 {
+		t.Fatal("SignalIndex")
+	}
+}
+
+func TestNewSetValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSet([]string{"a"}, []int{0, 1})
+}
+
+func TestAppendOutOfOrderPanics(t *testing.T) {
+	s := sample()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Append(2, []float64{0, 0, 0})
+}
+
+func TestAtInterpolation(t *testing.T) {
+	s := sample()
+	cases := []struct{ tv, want float64 }{
+		{-1, 1}, // clamp left
+		{0, 1},  // exact sample
+		{0.5, 1.5},
+		{2, 3}, // between t=1 (2) and t=3 (4)
+		{5, 4}, // clamp right
+	}
+	for _, c := range cases {
+		got, err := s.At("a", c.tv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("At(%g) = %g, want %g", c.tv, got, c.want)
+		}
+	}
+	if _, err := s.At("zzz", 0); err == nil {
+		t.Fatal("unknown signal must error")
+	}
+}
+
+// Property: interpolated values are bounded by neighbouring samples.
+func TestAtBoundedQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSet([]string{"x"}, []int{0})
+		tv := 0.0
+		for i := 0; i < 20; i++ {
+			tv += 0.1 + rng.Float64()
+			s.Append(tv, []float64{rng.NormFloat64() * 5})
+		}
+		for trial := 0; trial < 50; trial++ {
+			q := s.Times[0] + rng.Float64()*(s.Times[len(s.Times)-1]-s.Times[0])
+			v, _ := s.At("x", q)
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for k, st := range s.Times[:len(s.Times)-1] {
+				if q >= st && q <= s.Times[k+1] {
+					lo = math.Min(s.Data[k][0], s.Data[k+1][0])
+					hi = math.Max(s.Data[k][0], s.Data[k+1][0])
+				}
+			}
+			if v < lo-1e-12 || v > hi+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareIdenticalSetsIsZero(t *testing.T) {
+	a := sample()
+	dev, err := Compare(a, a, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Max != 0 || dev.RMS != 0 {
+		t.Fatalf("self-compare deviation = %+v", dev)
+	}
+	if dev.Range != 3 {
+		t.Fatalf("range = %g, want 3", dev.Range)
+	}
+	if dev.RelMax() != 0 {
+		t.Fatal("RelMax")
+	}
+}
+
+func TestCompareShiftedSets(t *testing.T) {
+	a := NewSet([]string{"x"}, []int{0})
+	b := NewSet([]string{"x"}, []int{0})
+	for i := 0; i <= 10; i++ {
+		tv := float64(i)
+		a.Append(tv, []float64{tv})
+		b.Append(tv, []float64{tv + 0.5})
+	}
+	dev, err := Compare(a, b, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dev.Max-0.5) > 1e-12 || math.Abs(dev.RMS-0.5) > 1e-12 {
+		t.Fatalf("deviation = %+v", dev)
+	}
+	if math.Abs(dev.RelMax()-0.05) > 1e-12 {
+		t.Fatalf("RelMax = %g", dev.RelMax())
+	}
+}
+
+func TestCompareDifferentGrids(t *testing.T) {
+	// Same underlying line sampled on different grids: deviation ≈ 0.
+	a := NewSet([]string{"x"}, []int{0})
+	b := NewSet([]string{"x"}, []int{0})
+	for i := 0; i <= 10; i++ {
+		tv := float64(i)
+		a.Append(tv, []float64{2 * tv})
+	}
+	for i := 0; i <= 7; i++ {
+		tv := float64(i) * 1.3
+		b.Append(tv, []float64{2 * tv})
+	}
+	dev, err := Compare(a, b, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Max > 1e-12 {
+		t.Fatalf("deviation on shared line = %+v", dev)
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	a := sample()
+	empty := NewSet([]string{"a"}, []int{0})
+	if _, err := Compare(a, empty, "a"); err == nil {
+		t.Fatal("empty set must error")
+	}
+	if _, err := Compare(a, a, "zzz"); err == nil {
+		t.Fatal("unknown signal must error")
+	}
+	far := NewSet([]string{"a"}, []int{0})
+	far.Append(100, []float64{0})
+	far.Append(101, []float64{0})
+	if _, err := Compare(a, far, "a"); err == nil {
+		t.Fatal("disjoint time ranges must error")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "time,a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "1,2,20") {
+		t.Fatalf("row = %q", lines[2])
+	}
+}
+
+func TestStepSizes(t *testing.T) {
+	s := sample()
+	steps := s.StepSizes()
+	if len(steps) != 2 || steps[0] != 1 || steps[1] != 2 {
+		t.Fatalf("steps = %v", steps)
+	}
+	if NewSet(nil, nil).StepSizes() != nil {
+		t.Fatal("empty set has no steps")
+	}
+}

@@ -1,0 +1,249 @@
+package wavepipe
+
+import (
+	"wavepipe/internal/integrate"
+	"wavepipe/internal/num"
+)
+
+// predictPoint extrapolates a full (X, Q, Qdot) point from history — the
+// speculative stand-in for a predecessor that has not converged yet.
+func predictPoint(hist *integrate.History, t float64, n int) *integrate.Point {
+	pts := hist.Tail(3)
+	ts := make([]float64, len(pts))
+	xs := make([][]float64, len(pts))
+	qs := make([][]float64, len(pts))
+	qds := make([][]float64, len(pts))
+	for i, p := range pts {
+		ts[i] = p.T
+		xs[i] = p.X
+		qs[i] = p.Q
+		qds[i] = p.Qdot
+	}
+	pt := &integrate.Point{
+		T:    t,
+		X:    make([]float64, n),
+		Q:    make([]float64, n),
+		Qdot: make([]float64, n),
+	}
+	num.PredictVectorAt(ts, xs, t, pt.X)
+	num.PredictVectorAt(ts, qs, t, pt.Q)
+	num.PredictVectorAt(ts, qds, t, pt.Qdot)
+	return pt
+}
+
+// forwardStage runs one forward-pipelining stage (optionally combined with
+// backward workers), in two parallel phases:
+//
+//	phase A — worker 0: main point t1 = t + h
+//	          worker 2: backward point t1 − δ       (combined, ≥3 threads)
+//	          worker 1: speculative Newton warm-up at t2 = t1 + h against a
+//	                    polynomially *predicted* t1 point
+//	phase B — worker 1: corrective solve of t2 from the exact history,
+//	                    warm-started from phase A
+//	          worker 3: backward point t2 − δ       (combined, 4 threads)
+//
+// Phase B starts the moment the true t1 point exists. Accuracy is protected
+// by re-solving the forward point against the exact history and LTE-checking
+// every accepted point.
+func (e *engine) forwardStage(combined bool) error {
+	t := e.t()
+	limit := e.stageLimit()
+	t1 := t + e.h
+	hitBp := false
+	if t1 >= limit-0.01*e.h { // step-relative clamp; see transient.Run
+		t1 = limit
+		hitBp = true
+	}
+	h0 := t1 - t
+	// The forward step is chosen conservatively (no growth) and must not
+	// cross a breakpoint.
+	t2 := t1 + h0
+	doForward := !hitBp
+	fwdHitsBp := false
+	if t2 >= limit-0.01*h0 {
+		t2 = limit
+		fwdHitsBp = true
+		if t2-t1 < 0.1*h0 {
+			doForward = false
+		}
+	}
+	fwdHitsBp = fwdHitsBp && doForward
+
+	delta := e.opts.DeltaRatio * h0
+	doBack1 := combined && e.opts.Threads >= 3
+	doBack2 := combined && e.opts.Threads >= 4 && doForward && t2-delta > t1+0.05*h0
+
+	// ---- Phase A ----
+	var main, back1 pointResult
+	var warmFwd, warmB2 []float64
+	var warmFwdNanos, warmB2Nanos int64
+	// The predicted history mirrors the spacing of the true one (including
+	// the backward point when present) so the speculative assemblies'
+	// Alpha0 match and ResumeAt can reuse them.
+	predicted := func() *integrate.History {
+		ph := e.hist.Clone()
+		if doBack1 {
+			ph.Add(predictPoint(e.hist, t1-delta, e.sys.N))
+		}
+		ph.Add(predictPoint(e.hist, t1, e.sys.N))
+		return ph
+	}
+	tasksA := []func(){func() {
+		pt, co, err := e.solvers[0].SolveAt(e.hist, t1, nil)
+		main = pointResult{pt: pt, co: co, err: err}
+	}}
+	if doBack1 {
+		tasksA = append(tasksA, func() {
+			pt, co, err := e.solvers[2].SolveAt(e.hist, t1-delta, nil)
+			back1 = pointResult{pt: pt, co: co, err: err}
+		})
+	}
+	depth := e.warmDepth()
+	if doForward {
+		tasksA = append(tasksA, func() {
+			warmFwd = e.solvers[1].WarmStart(predicted(), t2, depth)
+			warmFwdNanos = e.solvers[1].LastNanos
+		})
+	}
+	if doBack2 {
+		tasksA = append(tasksA, func() {
+			warmB2 = e.solvers[3].WarmStart(predicted(), t2-delta, depth)
+			warmB2Nanos = e.solvers[3].LastNanos
+		})
+	}
+	e.runTasks(tasksA...)
+	e.critNanos += e.phaseACrit(doBack1, warmFwdNanos, warmB2Nanos)
+	e.noteMainIters(e.solvers[0].LastIters)
+
+	if main.err != nil {
+		e.discarded += boolCount(doBack1)
+		return e.shrinkAfterFailure()
+	}
+
+	// ---- Phase B (speculative with respect to the LTE checks below) ----
+	var fwd, back2 pointResult
+	var trueHist *integrate.History
+	if doForward {
+		trueHist = e.hist.Clone()
+		if doBack1 && back1.err == nil {
+			trueHist.Add(back1.pt)
+		}
+		trueHist.Add(main.pt)
+		tasksB := []func(){func() {
+			pt, co, err := e.solvers[1].ResumeAt(trueHist, t2, warmFwd)
+			fwd = pointResult{pt: pt, co: co, err: err}
+		}}
+		if doBack2 {
+			tasksB = append(tasksB, func() {
+				pt, co, err := e.solvers[3].ResumeAt(trueHist, t2-delta, warmB2)
+				back2 = pointResult{pt: pt, co: co, err: err}
+			})
+		}
+		e.runTasks(tasksB...)
+		e.critNanos += e.phaseBCrit(doBack2)
+	}
+
+	// ---- Validation and publication, ascending in time ----
+	mainNorm := e.lteNorm(main)
+	if mainNorm > 1 && main.co.H0 > e.ctrl.HMin*1.01 && !e.afterBreak {
+		// The whole stage is built on t1: discard everything.
+		e.lteRejects++
+		e.discarded += boolCount(doBack1) + boolCount(doForward) + boolCount(doBack2)
+		e.h = e.ctrl.ShrinkOnReject(main.co.H0, mainNorm, main.co.Order)
+		return nil
+	}
+	accepted := 0
+	if doBack1 {
+		if back1.err == nil && (e.afterBreak || e.lteNorm(back1) <= 1) {
+			e.accept(back1.pt)
+			accepted++
+		} else {
+			e.discarded++
+		}
+	}
+	e.accept(main.pt)
+	accepted++
+
+	if hitBp {
+		e.handleBreak(h0)
+		return nil
+	}
+	e.afterBreak = false
+
+	if !doForward {
+		e.nextStep(h0, accepted, mainNorm, main.co.H1)
+		return nil
+	}
+
+	// Speculative points pass the same LTE bar as everything else; a
+	// stricter bar was tried and bought no measurable accuracy while
+	// discarding ~15% more points (see EXPERIMENTS.md).
+	const specBar = 1.0
+	lteAgainst := func(res pointResult) float64 {
+		return e.lteNormAgainst(trueHist, res)
+	}
+	if doBack2 {
+		if back2.err == nil && lteAgainst(back2) <= specBar {
+			e.accept(back2.pt)
+			accepted++
+		} else {
+			e.discarded++
+		}
+	}
+	if fwd.err == nil {
+		if fwdNorm := lteAgainst(fwd); fwdNorm <= specBar {
+			// back2 may have been accepted between the main point and the
+			// forward point; history stays ascending either way.
+			e.accept(fwd.pt)
+			accepted++
+			if fwdHitsBp {
+				e.handleBreak(fwd.co.H0)
+				return nil
+			}
+			e.nextStep(fwd.co.H0, accepted, fwdNorm, fwd.co.H1)
+			return nil
+		}
+		// The forward point's LTE feedback still guides the next step.
+		e.discarded++
+		e.lteRejects++
+		e.h = e.ctrl.ShrinkOnReject(fwd.co.H0, lteAgainst(fwd), fwd.co.Order)
+		return nil
+	}
+	e.discarded++
+	e.nextStep(h0, accepted, mainNorm, main.co.H1)
+	return nil
+}
+
+func boolCount(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// phaseACrit returns the critical-path time of the stage's first parallel
+// round: the main point, the optional backward point and the speculative
+// warm starts all run concurrently.
+func (e *engine) phaseACrit(withBack1 bool, warmNanos ...int64) int64 {
+	crit := e.solvers[0].LastNanos
+	if withBack1 && e.solvers[2].LastNanos > crit {
+		crit = e.solvers[2].LastNanos
+	}
+	for _, w := range warmNanos {
+		if w > crit {
+			crit = w
+		}
+	}
+	return crit
+}
+
+// phaseBCrit returns the critical-path time of the stage's second parallel
+// round: the corrective forward solve and the optional backward point under
+// it.
+func (e *engine) phaseBCrit(withBack2 bool) int64 {
+	crit := e.solvers[1].LastNanos
+	if withBack2 && e.solvers[3].LastNanos > crit {
+		crit = e.solvers[3].LastNanos
+	}
+	return crit
+}

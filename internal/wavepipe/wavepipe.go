@@ -1,0 +1,511 @@
+// Package wavepipe implements the paper's contribution: waveform-pipelined
+// parallel transient simulation. Multiple adjacent time points are computed
+// concurrently by worker goroutines in a way resembling hardware pipelining,
+// without relaxation — every accepted point satisfies the same implicit
+// integration formula, Newton tolerance and LTE test as the serial engine.
+//
+// Two embodiments are provided, plus their combination:
+//
+//   - Backward pipelining (SchemeBackward): while the main worker computes
+//     the regular next point t+h, extra workers compute solutions at
+//     backward points t+h−δ, t+h−2δ, ... All depend only on already-known
+//     history, so they run fully in parallel. The densely spaced trailing
+//     points shrink the variable-step Gear-2 LTE constant and refresh the
+//     derivative estimate, allowing a larger next step — the pipeline
+//     advances simulated time faster than one serial step per solve.
+//
+//   - Forward pipelining (SchemeForward): a second worker speculatively
+//     iterates on the point after next (t+2h) using a polynomial
+//     *prediction* of the not-yet-converged t+h solution as history. Once
+//     the true t+h point is published, the worker swaps in the exact
+//     history and finishes Newton from its warm iterate. Accuracy is
+//     unaffected — the final iterations always use the true history and the
+//     point is still LTE-checked — but most of its Newton work overlapped
+//     with the predecessor's.
+//
+//   - SchemeCombined layers a backward worker under the main point and
+//     (with 4 threads) under the forward point as well.
+package wavepipe
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sync"
+
+	"wavepipe/internal/circuit"
+	"wavepipe/internal/integrate"
+	"wavepipe/internal/num"
+	"wavepipe/internal/transient"
+	"wavepipe/internal/waveform"
+)
+
+// Scheme selects the pipelining embodiment.
+type Scheme int
+
+// Available pipelining schemes.
+const (
+	SchemeBackward Scheme = iota
+	SchemeForward
+	SchemeCombined
+)
+
+// String returns the scheme name.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeBackward:
+		return "backward"
+	case SchemeForward:
+		return "forward"
+	case SchemeCombined:
+		return "combined"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures a WavePipe run.
+type Options struct {
+	// Base carries the underlying transient configuration (window, method,
+	// tolerances). Method must be Gear2 or Trapezoidal for second-order
+	// pipelining; Gear2 (the default) is what the paper analyses.
+	Base transient.Options
+	// Scheme selects backward, forward or combined pipelining.
+	Scheme Scheme
+	// Threads is the number of concurrent point workers: 2–3 for backward,
+	// 2 for forward, 3–4 for combined. Defaults to 2 (3 for combined).
+	Threads int
+	// DeltaRatio sets the backward offset δ = DeltaRatio·h (default 0.2).
+	DeltaRatio float64
+	// WarmIters is how many speculative Newton iterations the forward
+	// worker runs on the predicted history. 0 (the default) adapts the
+	// depth to the rolling main-solve iteration count, mirroring a real
+	// parallel machine where the speculative worker iterates until the
+	// true predecessor point is published.
+	WarmIters int
+	// AggressiveGrowth credits the step-size growth cap once per accepted
+	// point instead of once per stage (cap·GrowthCap^points). Faster on
+	// smooth circuits but defeats the cap's trust-region role near sharp
+	// nonlinear events; kept as an ablation knob (experiment A2), off by
+	// default.
+	AggressiveGrowth bool
+	// ForceParallelWorkers launches stage workers as goroutines even when
+	// the host has fewer cores than Threads (normally they run sequentially
+	// there so the critical-path timing model stays uncontended). Results
+	// are identical either way; used by the race-detector tests.
+	ForceParallelWorkers bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threads <= 0 {
+		if o.Scheme == SchemeCombined {
+			o.Threads = 3
+		} else {
+			o.Threads = 2
+		}
+	}
+	if o.Scheme == SchemeForward {
+		o.Threads = 2 // forward pipelining is depth-1 in this implementation
+	}
+	if o.Scheme == SchemeCombined && o.Threads > 4 {
+		o.Threads = 4
+	}
+	if o.Scheme == SchemeBackward && o.Threads > 4 {
+		o.Threads = 4
+	}
+	if o.DeltaRatio <= 0 || o.DeltaRatio >= 0.9 {
+		o.DeltaRatio = 0.2
+	}
+	return o
+}
+
+// Run executes a WavePipe transient analysis and returns a result of the
+// same shape as the serial engine's.
+func Run(sys *circuit.System, opts Options) (*transient.Result, error) {
+	if opts.Base.TStop <= 0 {
+		return nil, fmt.Errorf("wavepipe: TStop must be positive")
+	}
+	opts = opts.withDefaults()
+	base := opts.Base.WithDefaults()
+	e := &engine{
+		sys:  sys,
+		opts: opts,
+		base: base,
+		ctrl: base.Control,
+		// With fewer cores than workers, concurrent solves would time-share
+		// the CPU and pollute the per-solve measurements behind the
+		// critical-path model; the stage tasks are mutually independent, so
+		// they can run sequentially with identical results.
+		seq: runtime.GOMAXPROCS(0) < opts.Threads && !opts.ForceParallelWorkers,
+	}
+	for i := 0; i < opts.Threads; i++ {
+		e.solvers = append(e.solvers, transient.NewPointSolver(sys, base.Method, base.Newton, base.Gmin))
+	}
+
+	p0, err := transient.InitialPoint(sys, e.solvers[0], base)
+	if err != nil {
+		return nil, err
+	}
+	e.hist = &integrate.History{}
+	e.hist.Add(p0)
+	e.w = transient.RecordSet(sys, base)
+	e.w.Append(p0.T, p0.X)
+	e.bps = transient.CollectBreakpoints(sys, base.TStop)
+	e.h = math.Min(base.HInit, e.ctrl.HMax)
+	e.afterBreak = true
+
+	for e.t() < base.TStop*(1-1e-12) {
+		if e.points >= base.MaxPoints {
+			return nil, fmt.Errorf("wavepipe: exceeded %d points at t=%g", base.MaxPoints, e.t())
+		}
+		e.stages++
+		if debugSteps && e.stages%100000 == 0 {
+			// Stall diagnostic: a healthy run never reaches this.
+			fmt.Printf("wavepipe: stage=%d t=%.6g h=%.3g points=%d rejects=%d\n",
+				e.stages, e.t(), e.h, e.points, e.lteRejects)
+		}
+		var err error
+		switch {
+		case e.warmup > 0:
+			// Pipeline flush: after a waveform discontinuity the truncation-
+			// error checks have no valid history, so speculative points
+			// would be accepted blind. Like a hardware pipeline after a
+			// branch, refill serially until LTE control re-engages.
+			err = e.serialStage()
+		case opts.Scheme == SchemeForward:
+			err = e.forwardStage(false)
+		case opts.Scheme == SchemeCombined:
+			err = e.forwardStage(true)
+		default:
+			err = e.backwardStage()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	stats := transient.Stats{}
+	for _, s := range e.solvers {
+		stats.Add(s.Stats)
+	}
+	stats.Points = e.points
+	stats.LTERejects = e.lteRejects
+	stats.Discarded = e.discarded
+	stats.Stages = e.stages
+	// The summed per-solver CriticalNanos is total work; replace it with
+	// the pipeline critical path accumulated per stage.
+	stats.CriticalNanos = e.critNanos
+	return &transient.Result{W: e.w, Stats: stats, FinalX: num.Copy(e.hist.Last().X)}, nil
+}
+
+// engine holds the per-run coordinator state. Worker goroutines only touch
+// their own PointSolver plus the immutable history snapshot of the stage.
+type engine struct {
+	sys  *circuit.System
+	opts Options
+	base transient.Options
+	ctrl integrate.Control
+
+	solvers []*transient.PointSolver
+	hist    *integrate.History
+	w       *waveform.Set
+
+	bps        []float64
+	nextBp     int
+	h          float64
+	afterBreak bool
+	warmup     int // serial stages remaining after a pipeline flush
+	seq        bool
+
+	points     int
+	lteRejects int
+	discarded  int
+	stages     int
+	critNanos  int64
+	emaIters   float64 // rolling main-solve Newton iteration count
+}
+
+// t returns the current simulation time.
+func (e *engine) t() float64 { return e.hist.Last().T }
+
+// stageLimit returns the next hard time boundary (breakpoint or TStop).
+func (e *engine) stageLimit() float64 {
+	t := e.t()
+	for e.nextBp < len(e.bps) && e.bps[e.nextBp] <= t*(1+1e-12) {
+		e.nextBp++
+	}
+	if e.nextBp < len(e.bps) {
+		return e.bps[e.nextBp]
+	}
+	return e.base.TStop
+}
+
+// warmDepth returns the speculative iteration budget for the forward
+// worker: the configured WarmIters, or (adaptively) one less than the
+// rolling main-solve iteration count — the warm start's trailing
+// assembly+factorization costs roughly one more iteration, keeping the
+// speculative task no heavier than the concurrent main solve.
+func (e *engine) warmDepth() int {
+	if e.opts.WarmIters > 0 {
+		return e.opts.WarmIters
+	}
+	d := int(e.emaIters + 0.5)
+	if d < 1 {
+		d = 1
+	}
+	if d > 10 {
+		d = 10
+	}
+	return d
+}
+
+// noteMainIters feeds the rolling iteration average.
+func (e *engine) noteMainIters(iters int) {
+	if e.emaIters == 0 {
+		e.emaIters = float64(iters)
+		return
+	}
+	e.emaIters += 0.2 * (float64(iters) - e.emaIters)
+}
+
+// runTasks executes the independent tasks of one pipeline phase, in
+// parallel on hosts with enough cores and sequentially otherwise (same
+// results either way; see the seq field).
+func (e *engine) runTasks(tasks ...func()) {
+	if e.seq || len(tasks) == 1 {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, t := range tasks {
+		wg.Add(1)
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(t)
+	}
+	wg.Wait()
+}
+
+// pointResult carries one worker's outcome back to the coordinator.
+type pointResult struct {
+	pt  *integrate.Point
+	co  integrate.Coeffs
+	err error
+}
+
+// lteNorm checks a candidate against the pre-stage history, estimating the
+// derivative from spaced points (see History.SpacedTail) while keeping the
+// candidate's true trailing spacing in the error coefficient.
+func (e *engine) lteNorm(res pointResult) float64 {
+	return e.lteNormAgainst(e.hist, res)
+}
+
+func (e *engine) lteNormAgainst(hist *integrate.History, res pointResult) float64 {
+	pts := append(hist.SpacedTail(res.co.Order+1, res.co.H0/4), res.pt)
+	return e.ctrl.CheckLTE(e.base.Method, res.co.Order, pts, res.co.H0, res.co.H1)
+}
+
+// accept publishes a point into the history and the waveform set.
+func (e *engine) accept(pt *integrate.Point) {
+	e.hist.Add(pt)
+	e.w.Append(pt.T, pt.X)
+	e.points++
+}
+
+// serialStage advances one plain single-point step (the pipeline-flush
+// refill path after breakpoints).
+func (e *engine) serialStage() error {
+	t := e.t()
+	limit := e.stageLimit()
+	tNew := t + e.h
+	hitBp := false
+	if tNew >= limit-0.01*e.h { // step-relative clamp; see transient.Run
+		tNew = limit
+		hitBp = true
+	}
+	pt, co, err := e.solvers[0].SolveAt(e.hist, tNew, nil)
+	if err != nil {
+		return e.shrinkAfterFailure()
+	}
+	e.critNanos += e.solvers[0].LastNanos
+	res := pointResult{pt: pt, co: co}
+	norm := e.lteNorm(res)
+	if norm > 1 && co.H0 > e.ctrl.HMin*1.01 && !e.afterBreak {
+		e.lteRejects++
+		e.h = e.ctrl.ShrinkOnReject(co.H0, norm, co.Order)
+		return nil
+	}
+	e.accept(pt)
+	e.noteMainIters(e.solvers[0].LastIters)
+	if hitBp {
+		e.handleBreak(co.H0)
+		return nil
+	}
+	e.afterBreak = false
+	e.warmup--
+	e.nextStep(co.H0, 1, norm, co.H1)
+	return nil
+}
+
+// handleBreak restarts integration after landing on a breakpoint, sizing
+// the restart step from the next breakpoint gap (see transient.RestartStep).
+func (e *engine) handleBreak(lastStep float64) {
+	e.hist.Truncate()
+	t := e.t()
+	gap := e.base.TStop - t
+	if e.nextBp < len(e.bps) {
+		// stageLimit has not advanced past the just-consumed breakpoint yet;
+		// scan forward for the next strictly-later one.
+		for _, bp := range e.bps[e.nextBp:] {
+			if bp > t*(1+1e-12) {
+				gap = bp - t
+				break
+			}
+		}
+	}
+	e.h = transient.RestartStep(gap, lastStep, e.base.HInit, e.ctrl)
+	e.afterBreak = true
+	// Refill serially until the LTE checks have a full stencil again:
+	// Gear-2 needs order+2 = 4 points, i.e. 3 accepted steps past the
+	// breakpoint point.
+	e.warmup = 3
+}
+
+// nextStep picks the step for the following stage from the accepted
+// anchor's LTE norm (see integrate.Control.NextStep), under the growth cap.
+// The cap is applied to the stage's main advance (hUsed), exactly as the
+// serial engine caps against its last step — the pipelining gain comes from
+// the relaxed LTE error coefficient (clustered trailing history enters
+// h1Next), not from weakening the cap. AggressiveGrowth (ablation A2)
+// credits the cap once per accepted point instead.
+func (e *engine) nextStep(hUsed float64, accepted int, norm, h1Solve float64) {
+	order := e.base.Method.Order()
+	last := e.hist.Tail(2)
+	h1Next := 0.0
+	if len(last) == 2 {
+		h1Next = last[1].T - last[0].T
+	}
+	h := e.ctrl.NextStep(e.base.Method, order, norm, hUsed, h1Solve, h1Next)
+	growth := e.ctrl.GrowthCap
+	if e.opts.AggressiveGrowth {
+		growth = math.Pow(e.ctrl.GrowthCap, float64(accepted))
+	}
+	if capV := hUsed * growth; h > capV {
+		h = capV
+	}
+	e.h = num.Clamp(h, e.ctrl.HMin, e.ctrl.HMax)
+	if debugSteps {
+		fmt.Printf("bwp t=%.5g hUsed=%.3g norm=%.3g h1S=%.3g h1N=%.3g -> h=%.3g\n",
+			e.t(), hUsed, norm, h1Solve, h1Next, e.h)
+	}
+}
+
+// debugSteps enables step-decision tracing (tests/diagnostics only).
+var debugSteps = os.Getenv("WAVEPIPE_DEBUG") != ""
+
+// shrinkAfterFailure reduces the stage step after a Newton failure.
+func (e *engine) shrinkAfterFailure() error {
+	e.h /= 8
+	if e.h < e.ctrl.HMin {
+		return fmt.Errorf("wavepipe: time step too small at t=%g", e.t())
+	}
+	return nil
+}
+
+// backwardStage runs one backward-pipelining stage: the main point t+h and
+// Threads−1 backward points t+h−jδ, all solved concurrently from the same
+// history.
+func (e *engine) backwardStage() error {
+	t := e.t()
+	limit := e.stageLimit()
+	tMain := t + e.h
+	hitBp := false
+	if tMain >= limit-0.01*e.h { // step-relative clamp; see transient.Run
+		tMain = limit
+		hitBp = true
+	}
+	h0 := tMain - t
+	delta := e.opts.DeltaRatio * h0
+
+	// Backward targets, ascending, ending with the main point. Offsets that
+	// would crowd the base point are dropped.
+	targets := make([]float64, 0, e.opts.Threads)
+	for j := e.opts.Threads - 1; j >= 1; j-- {
+		tb := tMain - float64(j)*delta
+		if tb > t+0.05*h0 {
+			targets = append(targets, tb)
+		}
+	}
+	targets = append(targets, tMain)
+
+	results := make([]pointResult, len(targets))
+	tasks := make([]func(), len(targets))
+	for i := range targets {
+		i := i
+		tasks[i] = func() {
+			pt, co, err := e.solvers[i].SolveAt(e.hist, targets[i], nil)
+			results[i] = pointResult{pt: pt, co: co, err: err}
+		}
+	}
+	e.runTasks(tasks...)
+	// Stage critical path: the slowest of the concurrent workers.
+	var stageCrit int64
+	for i := range targets {
+		if d := e.solvers[i].LastNanos; d > stageCrit {
+			stageCrit = d
+		}
+	}
+	e.critNanos += stageCrit
+
+	main := results[len(results)-1]
+	if main.err != nil {
+		return e.shrinkAfterFailure()
+	}
+	mainNorm := e.lteNorm(main)
+	if mainNorm > 1 && main.co.H0 > e.ctrl.HMin*1.01 && !e.afterBreak {
+		e.lteRejects++
+		e.discarded += len(targets) - 1
+		e.h = e.ctrl.ShrinkOnReject(main.co.H0, mainNorm, main.co.Order)
+		return nil
+	}
+
+	// Accept the surviving backward points (ascending) and then the main
+	// point. Backward points are optional accelerators: failures only cost
+	// their potential speedup. LTE norms are evaluated against the
+	// pre-stage history every candidate was actually solved from.
+	keep := make([]bool, len(results)-1)
+	for i, r := range results[:len(results)-1] {
+		if r.err != nil {
+			continue
+		}
+		if !e.afterBreak {
+			if norm := e.lteNorm(r); norm > 1 {
+				continue
+			}
+		}
+		keep[i] = true
+	}
+	accepted := 0
+	for i, r := range results[:len(results)-1] {
+		if keep[i] {
+			e.accept(r.pt)
+			accepted++
+		} else {
+			e.discarded++
+		}
+	}
+	e.accept(main.pt)
+	accepted++
+
+	if hitBp {
+		e.handleBreak(h0)
+		return nil
+	}
+	e.afterBreak = false
+	e.nextStep(h0, accepted, mainNorm, main.co.H1)
+	return nil
+}

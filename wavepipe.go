@@ -1,0 +1,354 @@
+// Package wavepipe is a parallel SPICE-class transient circuit simulator
+// for multi-core shared-memory machines. It reproduces the WavePipe
+// methodology (Dong, Li, Ye — DAC 2008): coarse-grained parallelism across
+// adjacent time points via backward and forward waveform pipelining, on top
+// of a complete MNA engine (sparse LU, Newton–Raphson, variable-step
+// Gear-2/trapezoidal integration with LTE control).
+//
+// # Quick start
+//
+//	deck, _ := wavepipe.ParseDeck(netlistText)
+//	sys, _ := deck.Build()
+//	res, _ := wavepipe.RunTransient(sys, wavepipe.TranOptions{
+//		TStop:  deck.Tran.TStop,
+//		Scheme: wavepipe.Combined,
+//	})
+//	v, _ := res.W.At("out", 1e-6)
+//
+// Circuits can also be built programmatically with NewCircuit and the
+// device constructors (AddResistor, AddMOSFET, ...); see examples/.
+package wavepipe
+
+import (
+	"fmt"
+
+	"wavepipe/internal/circuit"
+	"wavepipe/internal/device"
+	"wavepipe/internal/integrate"
+	"wavepipe/internal/netlist"
+	"wavepipe/internal/transient"
+	"wavepipe/internal/waveform"
+	wpcore "wavepipe/internal/wavepipe"
+)
+
+// Ground is the reference-node index accepted by all device constructors.
+const Ground = circuit.Ground
+
+// Re-exported core types. The aliases keep one canonical implementation in
+// internal/ while giving downstream users a stable import path.
+type (
+	// Circuit is a netlist under construction.
+	Circuit = circuit.Circuit
+	// System is a compiled circuit ready to simulate.
+	System = circuit.System
+	// Device is the element interface (satisfied by all built-in models).
+	Device = circuit.Device
+	// Waveform describes a source's time dependence.
+	Waveform = device.Waveform
+	// DC, Pulse, Sin, PWL and Exp are the independent-source waveforms.
+	DC    = device.DC
+	Pulse = device.Pulse
+	Sin   = device.Sin
+	PWL   = device.PWL
+	Exp   = device.Exp
+	// DiodeModel and MOSModel are device model cards.
+	DiodeModel = device.DiodeModel
+	MOSModel   = device.MOSModel
+	// Set is a recorded waveform group.
+	Set = waveform.Set
+	// Deviation summarizes a waveform comparison.
+	Deviation = waveform.Deviation
+	// Stats aggregates the work a run performed.
+	Stats = transient.Stats
+	// Deck is a parsed SPICE netlist.
+	Deck = netlist.Deck
+	// TranSpec is a parsed .TRAN directive.
+	TranSpec = netlist.TranSpec
+)
+
+// MOSFET polarities.
+const (
+	NMOS = device.NMOS
+	PMOS = device.PMOS
+)
+
+// Method selects the implicit integration formula.
+type Method = integrate.Method
+
+// Integration methods.
+const (
+	BackwardEuler = integrate.BackwardEuler
+	Trapezoidal   = integrate.Trapezoidal
+	Gear2         = integrate.Gear2
+)
+
+// Scheme selects the simulation engine.
+type Scheme int
+
+// Simulation engines: the serial baseline, the three WavePipe schemes, and
+// the conventional fine-grained parallel-device-load baseline.
+const (
+	Serial Scheme = iota
+	Backward
+	Forward
+	Combined
+	FineGrained
+)
+
+// String returns the scheme name.
+func (s Scheme) String() string {
+	switch s {
+	case Serial:
+		return "serial"
+	case Backward:
+		return "backward"
+	case Forward:
+		return "forward"
+	case Combined:
+		return "combined"
+	case FineGrained:
+		return "finegrain"
+	default:
+		return "unknown"
+	}
+}
+
+// NewCircuit returns an empty circuit with the given title.
+func NewCircuit(title string) *Circuit { return circuit.New(title) }
+
+// ParseDeck parses SPICE netlist text.
+func ParseDeck(src string) (*Deck, error) { return netlist.Parse(src) }
+
+// WriteDeck renders a deck back to SPICE text.
+func WriteDeck(w interface{ Write([]byte) (int, error) }, d *Deck) error {
+	return netlist.Write(w, d)
+}
+
+// DefaultDiodeModel returns SPICE default diode parameters.
+func DefaultDiodeModel() DiodeModel { return device.DefaultDiodeModel() }
+
+// DefaultMOSModel returns a generic Level-1 model of the given polarity.
+func DefaultMOSModel(t device.MOSType) MOSModel { return device.DefaultMOSModel(t) }
+
+// AddResistor adds a resistor and returns the circuit for chaining.
+func AddResistor(c *Circuit, name string, p, n int, ohms float64) {
+	c.Add(device.NewResistor(name, p, n, ohms))
+}
+
+// AddCapacitor adds a linear capacitor.
+func AddCapacitor(c *Circuit, name string, p, n int, farads float64) {
+	c.Add(device.NewCapacitor(name, p, n, farads))
+}
+
+// AddInductor adds a linear inductor.
+func AddInductor(c *Circuit, name string, p, n int, henries float64) {
+	c.Add(device.NewInductor(name, p, n, henries))
+}
+
+// AddVSource adds an independent voltage source.
+func AddVSource(c *Circuit, name string, p, n int, w Waveform) {
+	c.Add(device.NewVSource(name, p, n, w))
+}
+
+// AddISource adds an independent current source (current flows P→N through
+// the source).
+func AddISource(c *Circuit, name string, p, n int, w Waveform) {
+	c.Add(device.NewISource(name, p, n, w))
+}
+
+// AddDiode adds a pn-junction diode (anode p, cathode n).
+func AddDiode(c *Circuit, name string, p, n int, m DiodeModel, area float64) {
+	c.Add(device.NewDiode(name, p, n, m, area))
+}
+
+// AddMOSFET adds a Level-1 MOSFET with geometry in meters.
+func AddMOSFET(c *Circuit, name string, d, g, s, b int, m MOSModel, w, l float64) {
+	c.Add(device.NewMOSFET(name, d, g, s, b, m, w, l))
+}
+
+// AddVCVS adds a voltage-controlled voltage source.
+func AddVCVS(c *Circuit, name string, p, n, cp, cn int, gain float64) {
+	c.Add(device.NewVCVS(name, p, n, cp, cn, gain))
+}
+
+// AddVCCS adds a voltage-controlled current source.
+func AddVCCS(c *Circuit, name string, p, n, cp, cn int, gm float64) {
+	c.Add(device.NewVCCS(name, p, n, cp, cn, gm))
+}
+
+// TranOptions configures a transient analysis through the facade.
+type TranOptions struct {
+	// TStop is the end of the simulation window (required).
+	TStop float64
+	// Scheme selects the engine (default Serial).
+	Scheme Scheme
+	// Threads is the worker count for the WavePipe schemes and the shard
+	// count for FineGrained (default: scheme-specific, 2–3).
+	Threads int
+	// Method is the integration formula (default Gear2).
+	Method Method
+	// RelTol and AbsTol override the error tolerances (defaults 1e-3, 1e-6).
+	RelTol, AbsTol float64
+	// MaxStep and InitStep bound the adaptive step (defaults TStop/20 and
+	// TStop·1e-6).
+	MaxStep, InitStep float64
+	// UIC skips the operating point and starts from IC.
+	UIC bool
+	// IC maps node names to initial voltages.
+	IC map[string]float64
+	// NodeSet maps node names to operating-point initial guesses
+	// (SPICE .NODESET): Newton seeds, not constraints.
+	NodeSet map[string]float64
+	// Record lists node names to record (nil = all node voltages).
+	Record []string
+	// DeltaRatio tunes the backward offset δ/h (default 0.2).
+	DeltaRatio float64
+	// AggressiveGrowth enables the per-point growth-cap credit (ablation).
+	AggressiveGrowth bool
+}
+
+// Result is the outcome of a transient analysis.
+type Result = transient.Result
+
+// Compare computes the deviation of a signal between two result waveforms.
+func Compare(a, ref *Set, signal string) (Deviation, error) {
+	return waveform.Compare(a, ref, signal)
+}
+
+// RunTransient simulates sys with the selected engine.
+func RunTransient(sys *System, opts TranOptions) (*Result, error) {
+	base, err := baseOptions(sys, opts)
+	if err != nil {
+		return nil, err
+	}
+	switch opts.Scheme {
+	case Serial:
+		return transient.Run(sys, base)
+	case FineGrained:
+		base.LoadWorkers = opts.Threads
+		if base.LoadWorkers <= 1 {
+			base.LoadWorkers = 2
+		}
+		return transient.Run(sys, base)
+	case Backward, Forward, Combined:
+		wopts := wpcore.Options{
+			Base:             base,
+			Threads:          opts.Threads,
+			DeltaRatio:       opts.DeltaRatio,
+			AggressiveGrowth: opts.AggressiveGrowth,
+		}
+		switch opts.Scheme {
+		case Backward:
+			wopts.Scheme = wpcore.SchemeBackward
+		case Forward:
+			wopts.Scheme = wpcore.SchemeForward
+		default:
+			wopts.Scheme = wpcore.SchemeCombined
+		}
+		return wpcore.Run(sys, wopts)
+	default:
+		return nil, fmt.Errorf("wavepipe: unknown scheme %d", opts.Scheme)
+	}
+}
+
+// RunDeck builds and simulates a parsed deck, honouring its .TRAN, .IC and
+// .OPTIONS cards (explicit TranOptions fields win over deck options).
+func RunDeck(d *Deck, opts TranOptions) (*Result, error) {
+	sys, err := d.Circuit.Build()
+	if err != nil {
+		return nil, err
+	}
+	if opts.TStop <= 0 {
+		if d.Tran == nil {
+			return nil, fmt.Errorf("wavepipe: deck has no .TRAN and no TStop given")
+		}
+		opts.TStop = d.Tran.TStop
+	}
+	if d.Tran != nil {
+		if opts.UIC || d.Tran.UIC {
+			opts.UIC = true
+		}
+		if opts.MaxStep <= 0 && d.Tran.TMax > 0 {
+			opts.MaxStep = d.Tran.TMax
+		}
+	}
+	if opts.RelTol <= 0 {
+		if v, ok := d.Options["reltol"]; ok {
+			opts.RelTol = v
+		}
+	}
+	if opts.AbsTol <= 0 {
+		if v, ok := d.Options["abstol"]; ok {
+			opts.AbsTol = v
+		}
+	}
+	if len(d.ICs) > 0 && opts.IC == nil {
+		opts.IC = d.ICs
+	}
+	if len(d.NodeSets) > 0 && opts.NodeSet == nil {
+		opts.NodeSet = d.NodeSets
+	}
+	return RunTransient(sys, opts)
+}
+
+// baseOptions translates facade options into engine options, resolving node
+// names to solution-vector indices.
+func baseOptions(sys *System, opts TranOptions) (transient.Options, error) {
+	if opts.TStop <= 0 {
+		return transient.Options{}, fmt.Errorf("wavepipe: TStop must be positive")
+	}
+	base := transient.Options{
+		TStop:  opts.TStop,
+		Method: opts.Method,
+		HInit:  opts.InitStep,
+		UIC:    opts.UIC,
+	}
+	ctrl := integrate.DefaultControl(opts.TStop)
+	if opts.RelTol > 0 {
+		ctrl.Tol.RelTol = opts.RelTol
+	}
+	if opts.AbsTol > 0 {
+		ctrl.Tol.AbsTol = opts.AbsTol
+	}
+	if opts.MaxStep > 0 {
+		ctrl.HMax = opts.MaxStep
+	}
+	base.Control = ctrl
+	if len(opts.IC) > 0 {
+		base.IC = make(map[int]float64, len(opts.IC))
+		for name, v := range opts.IC {
+			idx, ok := sys.Circuit.FindNode(name)
+			if !ok {
+				return base, fmt.Errorf("wavepipe: IC for unknown node %q", name)
+			}
+			if idx == Ground {
+				continue
+			}
+			base.IC[idx] = v
+		}
+	}
+	if len(opts.NodeSet) > 0 {
+		base.NodeSet = make(map[int]float64, len(opts.NodeSet))
+		for name, v := range opts.NodeSet {
+			idx, ok := sys.Circuit.FindNode(name)
+			if !ok {
+				return base, fmt.Errorf("wavepipe: NODESET for unknown node %q", name)
+			}
+			if idx == Ground {
+				continue
+			}
+			base.NodeSet[idx] = v
+		}
+	}
+	if len(opts.Record) > 0 {
+		base.Record = make([]int, len(opts.Record))
+		for i, name := range opts.Record {
+			idx, ok := sys.Circuit.FindNode(name)
+			if !ok || idx == Ground {
+				return base, fmt.Errorf("wavepipe: cannot record unknown node %q", name)
+			}
+			base.Record[i] = idx
+		}
+	}
+	return base, nil
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"wavepipe"
+)
+
+func TestExitCodeMapping(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, exitOK},
+		{"generic", errors.New("boom"), exitGeneric},
+		{"no-convergence", fmt.Errorf("x: %w", wavepipe.ErrNoConvergence), exitNoConvergence},
+		{"singular", fmt.Errorf("x: %w", wavepipe.ErrSingular), exitSingular},
+		{"non-finite", fmt.Errorf("x: %w", wavepipe.ErrNonFinite), exitNonFinite},
+		{"step-too-small", fmt.Errorf("x: %w", wavepipe.ErrStepTooSmall), exitStepTooSmall},
+		{"worker-panic", fmt.Errorf("x: %w", wavepipe.ErrWorkerPanic), exitWorkerPanic},
+		// The ladder wraps the exhausting cause inside the step-too-small
+		// wrapper; the outer classification must win.
+		{"nested", fmt.Errorf("%w: %w", wavepipe.ErrStepTooSmall, wavepipe.ErrNoConvergence), exitStepTooSmall},
+		{"sim-error", &wavepipe.SimError{Phase: "newton", Time: 1e-6, Cause: wavepipe.ErrNonFinite}, exitNonFinite},
+	}
+	for _, tc := range cases {
+		if got := exitCodeFor(tc.err); got != tc.want {
+			t.Errorf("%s: exit code %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,43 @@ import (
 	"wavepipe"
 	"wavepipe/internal/netlist"
 )
+
+// Exit codes, one per error-taxonomy sentinel, so scripts can branch on the
+// failure class without parsing stderr. 1 remains the generic failure
+// (bad flags, unreadable deck, ...), 2 is flag.Usage.
+const (
+	exitOK            = 0
+	exitGeneric       = 1
+	exitUsage         = 2
+	exitNoConvergence = 3
+	exitSingular      = 4
+	exitNonFinite     = 5
+	exitStepTooSmall  = 6
+	exitWorkerPanic   = 7
+)
+
+// exitCodeFor maps an error to its exit code. The step-too-small and
+// worker-panic wrappers are checked first: they wrap a deeper sentinel (the
+// cause that exhausted the ladder), and the outermost failure is the one the
+// caller should branch on.
+func exitCodeFor(err error) int {
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.Is(err, wavepipe.ErrStepTooSmall):
+		return exitStepTooSmall
+	case errors.Is(err, wavepipe.ErrWorkerPanic):
+		return exitWorkerPanic
+	case errors.Is(err, wavepipe.ErrNonFinite):
+		return exitNonFinite
+	case errors.Is(err, wavepipe.ErrSingular):
+		return exitSingular
+	case errors.Is(err, wavepipe.ErrNoConvergence):
+		return exitNoConvergence
+	default:
+		return exitGeneric
+	}
+}
 
 func main() {
 	var (
@@ -37,12 +75,29 @@ func main() {
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: wavesim [flags] deck.sp")
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 
 	if err := run(flag.Arg(0), *analysisFlag, *schemeFlag, *methodFlag, *tstopFlag, *probeFlag, *outFlag, *intervalFlag, *threadsFlag, *statsFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "wavesim:", err)
-		os.Exit(1)
+		os.Exit(exitCodeFor(err))
+	}
+}
+
+// reportFailure summarizes a failed transient run on stderr: the typed error
+// context plus whatever the partial result says was accomplished and tried.
+func reportFailure(w *os.File, res *wavepipe.Result, err error) {
+	var se *wavepipe.SimError
+	if errors.As(err, &se) {
+		fmt.Fprintf(w, "wavesim: failed in %s phase at t=%g\n", se.Phase, se.Time)
+	}
+	if res == nil {
+		return
+	}
+	fmt.Fprintf(w, "wavesim: partial result: points=%d recoveries=%d worker-panics=%d degraded-stages=%d\n",
+		res.Stats.Points, res.Stats.Recoveries, res.Stats.WorkerPanics, res.Stats.DegradedStages)
+	for _, e := range res.Recovery.Events() {
+		fmt.Fprintf(w, "wavesim:   recovery at t=%g: %s %s\n", e.T, e.Kind, e.Detail)
 	}
 }
 
@@ -125,6 +180,7 @@ func run(deckPath, analysis, schemeName, methodName, tstop, probes, outPath, int
 	start := time.Now()
 	res, err := wavepipe.RunDeck(deck, opts)
 	if err != nil {
+		reportFailure(os.Stderr, res, err)
 		return err
 	}
 	wall := time.Since(start)
@@ -144,9 +200,13 @@ func run(deckPath, analysis, schemeName, methodName, tstop, probes, outPath, int
 	}
 	if stats {
 		fmt.Fprintf(os.Stderr,
-			"wavesim: %s | scheme=%s points=%d stages=%d nr-iters=%d lte-rejects=%d discarded=%d wall=%s\n",
+			"wavesim: %s | scheme=%s points=%d stages=%d nr-iters=%d lte-rejects=%d discarded=%d recoveries=%d wall=%s\n",
 			deck.Title, schemeName, res.Stats.Points, res.Stats.Stages,
-			res.Stats.NRIters, res.Stats.LTERejects, res.Stats.Discarded, wall.Round(time.Microsecond))
+			res.Stats.NRIters, res.Stats.LTERejects, res.Stats.Discarded,
+			res.Stats.Recoveries, wall.Round(time.Microsecond))
+		for _, e := range res.Recovery.Events() {
+			fmt.Fprintf(os.Stderr, "wavesim:   recovery at t=%g: %s %s\n", e.T, e.Kind, e.Detail)
+		}
 	}
 	return nil
 }

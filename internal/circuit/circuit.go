@@ -15,8 +15,10 @@ package circuit
 
 import (
 	"fmt"
+	"math"
 	"time"
 
+	"wavepipe/internal/faults"
 	"wavepipe/internal/sparse"
 )
 
@@ -212,6 +214,11 @@ type Workspace struct {
 	// MC holds dQ/dx after LoadSplit (AC analysis); nil until first use.
 	MC *sparse.Matrix
 
+	// Faults is the per-run fault-injection harness (nil in production
+	// runs — every check site is nil-safe). It is shared by all solver
+	// layers operating on this workspace.
+	Faults *faults.Injector
+
 	loadWorkers int
 	shards      []*shard
 }
@@ -296,6 +303,20 @@ func (ws *Workspace) Load(x []float64, p LoadParams) {
 		}
 	}
 	ws.applyClamps(x, p)
+	ws.injectLoadFault(p)
+}
+
+// injectLoadFault applies a scheduled assembly fault (tests only; Faults is
+// nil otherwise). Bookkeeping loads (NoLimit) are spared: poisoning the
+// post-convergence charge load would corrupt the integration history behind
+// the recovery machinery's back instead of failing the solve in front of it.
+func (ws *Workspace) injectLoadFault(p LoadParams) {
+	if ws.Faults == nil || p.NoLimit {
+		return
+	}
+	if cls, ok := ws.Faults.At(faults.SiteLoad, p.Time); ok && cls == faults.NonFinite {
+		ws.F[0] = math.NaN()
+	}
 }
 
 // applyClamps adds the .NODESET clamp conductances.

@@ -121,6 +121,7 @@ func (ws *Workspace) loadParallel(x []float64, p LoadParams) {
 		}
 	}
 	ws.applyClamps(x, p)
+	ws.injectLoadFault(p)
 	ws.LoadWallNanos += time.Since(start).Nanoseconds()
 	ws.LoadCritNanos += maxShard + time.Since(reduceStart).Nanoseconds()
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"wavepipe/internal/circuit"
+	"wavepipe/internal/faults"
 	"wavepipe/internal/newton"
 )
 
@@ -89,9 +90,12 @@ func Solve(ws *circuit.Workspace, x []float64, opts Options) (Stats, error) {
 	}
 
 	// 2. Gmin stepping: solve with a large conductance to ground on every
-	// node, then relax it geometrically down to zero.
+	// node, then relax it geometrically down to zero. The ladder rungs are
+	// marked on the fault injector so tests can target a specific strategy.
+	defer ws.Faults.SetStage(faults.StageNormal)
 	copy(x, save)
 	stats.Strategy = "gmin"
+	ws.Faults.SetStage(faults.StageGmin)
 	gmin := 1e-2
 	ok := true
 	for i := 0; i <= opts.GminSteps; i++ {
@@ -115,6 +119,7 @@ func Solve(ws *circuit.Workspace, x []float64, opts Options) (Stats, error) {
 	// 3. Source stepping: ramp all independent sources from 0 to 100 %.
 	copy(x, save)
 	stats.Strategy = "source"
+	ws.Faults.SetStage(faults.StageSource)
 	for i := 1; i <= opts.SrcSteps; i++ {
 		p := base
 		p.SrcScale = float64(i) / float64(opts.SrcSteps)
@@ -123,15 +128,20 @@ func Solve(ws *circuit.Workspace, x []float64, opts Options) (Stats, error) {
 		stats.NRIters += res.Iters
 		stats.Continues++
 		if err != nil {
-			return stats, fmt.Errorf("dcop: source stepping failed at %.0f%%: %w",
-				p.SrcScale*100, err)
+			return stats, &faults.SimError{
+				Phase: "dcop", Time: 0, Node: -1,
+				Cause: fmt.Errorf("source stepping failed at %.0f%%: %w", p.SrcScale*100, err),
+			}
 		}
 	}
 	// Final clean solve at full sources without the node shunt.
 	res, err = newton.Solve(ws, x, base, nil, opts.Newton, r, dx)
 	stats.NRIters += res.Iters
 	if err != nil {
-		return stats, errors.Join(errors.New("dcop: all strategies failed"), err)
+		return stats, &faults.SimError{
+			Phase: "dcop", Time: 0, Node: -1,
+			Cause: errors.Join(errors.New("all strategies failed"), err),
+		}
 	}
 	return stats, nil
 }

@@ -1,0 +1,92 @@
+package dcop
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"wavepipe/internal/circuit"
+	"wavepipe/internal/device"
+	"wavepipe/internal/faults"
+)
+
+// divider builds the 9 V / 2k / 1k voltage divider (v(mid) = 3) and returns
+// a workspace carrying the given fault harness.
+func divider(t *testing.T, in *faults.Injector) (*circuit.Workspace, []float64, int) {
+	t.Helper()
+	c := circuit.New("op")
+	cin := c.Node("in")
+	mid := c.Node("mid")
+	c.Add(device.NewVSource("V1", cin, circuit.Ground, device.DC(9)))
+	c.Add(device.NewResistor("R1", cin, mid, 2e3))
+	c.Add(device.NewResistor("R2", mid, circuit.Ground, 1e3))
+	sys, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := sys.NewWorkspace()
+	ws.Faults = in
+	midIdx, _ := c.FindNode("mid")
+	return ws, make([]float64, sys.N), midIdx
+}
+
+// Defeating direct Newton while sparing the gmin rung must land the ladder
+// on gmin stepping — and still produce the exact operating point.
+func TestLadderFallsBackToGminStepping(t *testing.T) {
+	in := faults.NewInjector(faults.Rule{
+		Class: faults.NoConvergence, Count: 5, SpareFrom: faults.StageGmin,
+	})
+	ws, x, mid := divider(t, in)
+	st, err := Solve(ws, x, DefaultOptions())
+	if err != nil {
+		t.Fatalf("gmin fallback failed: %v", err)
+	}
+	if st.Strategy != "gmin" {
+		t.Fatalf("strategy = %q, want gmin", st.Strategy)
+	}
+	if st.Continues == 0 {
+		t.Fatal("no continuation stages counted")
+	}
+	if math.Abs(x[mid]-3) > 1e-9 {
+		t.Fatalf("v(mid) = %g, want 3", x[mid])
+	}
+}
+
+// Defeating direct Newton and the gmin rung must push the ladder all the way
+// to source stepping.
+func TestLadderFallsBackToSourceStepping(t *testing.T) {
+	in := faults.NewInjector(faults.Rule{
+		Class: faults.NoConvergence, Count: 10, SpareFrom: faults.StageSource,
+	})
+	ws, x, mid := divider(t, in)
+	st, err := Solve(ws, x, DefaultOptions())
+	if err != nil {
+		t.Fatalf("source fallback failed: %v", err)
+	}
+	if st.Strategy != "source" {
+		t.Fatalf("strategy = %q, want source", st.Strategy)
+	}
+	if math.Abs(x[mid]-3) > 1e-9 {
+		t.Fatalf("v(mid) = %g, want 3", x[mid])
+	}
+}
+
+// With every strategy defeated, Solve must fail with the typed taxonomy:
+// a dcop-phase SimError carrying the no-convergence cause.
+func TestLadderExhaustionIsTyped(t *testing.T) {
+	in := faults.NewInjector(faults.Rule{
+		Class: faults.NoConvergence, Count: 1_000_000,
+	})
+	ws, x, _ := divider(t, in)
+	st, err := Solve(ws, x, DefaultOptions())
+	if err == nil {
+		t.Fatalf("solve succeeded with every strategy defeated: %+v", st)
+	}
+	if !errors.Is(err, faults.ErrNoConvergence) {
+		t.Fatalf("err = %v, want ErrNoConvergence", err)
+	}
+	var se *faults.SimError
+	if !errors.As(err, &se) || se.Phase != "dcop" {
+		t.Fatalf("missing dcop phase context: %v", err)
+	}
+}

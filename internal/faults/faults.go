@@ -1,0 +1,204 @@
+// Package faults provides the robustness layer's two shared pieces: the
+// typed simulation-error taxonomy (errors.go) and a deterministic,
+// test-injectable fault harness.
+//
+// The injector is threaded through circuit.Workspace and checked at a small
+// set of named sites in the solver stack (device assembly, the Newton loop,
+// the sparse factorization, the wavepipe stage workers). A nil *Injector is
+// fully functional and fires nothing, so production runs pay only a nil
+// check. Rules trigger deterministically — by site, time window and check
+// count, never randomness — which lets tests force a specific failure at a
+// specific point and assert the exact recovery path taken.
+package faults
+
+import "sync"
+
+// Class enumerates the injectable fault classes.
+type Class int
+
+const (
+	// NoConvergence forces newton.Solve to fail with ErrNoConvergence.
+	NoConvergence Class = iota
+	// Singular forces the factorization step to fail with ErrSingular.
+	Singular
+	// NonFinite poisons a device stamp with NaN during assembly, the way
+	// a misbehaving device model would.
+	NonFinite
+	// WorkerPanic panics inside a wavepipe stage worker.
+	WorkerPanic
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case NoConvergence:
+		return "no-convergence"
+	case Singular:
+		return "singular"
+	case NonFinite:
+		return "non-finite"
+	case WorkerPanic:
+		return "worker-panic"
+	default:
+		return "unknown"
+	}
+}
+
+// Site identifies an instrumented code site.
+type Site string
+
+// Instrumented sites.
+const (
+	SiteLoad   Site = "circuit.load"     // device assembly (NonFinite)
+	SiteNewton Site = "newton.solve"     // Newton loop entry (NoConvergence)
+	SiteFactor Site = "sparse.factorize" // LU factorization (Singular)
+	SiteWorker Site = "wavepipe.worker"  // pipeline stage worker (WorkerPanic)
+)
+
+// defaultSite is where a class naturally strikes when the rule names none.
+func (c Class) defaultSite() Site {
+	switch c {
+	case Singular:
+		return SiteFactor
+	case NonFinite:
+		return SiteLoad
+	case WorkerPanic:
+		return SiteWorker
+	default:
+		return SiteNewton
+	}
+}
+
+// Stage describes what kind of solve is running when a check fires. The
+// recovery ladders mark their rungs on the injector (SetStage), and a rule
+// can spare solves from a chosen rung up — so a test can defeat plain
+// Newton while letting exactly one rung of the ladder succeed, making the
+// recovery path deterministic.
+type Stage int
+
+// Solve stages, ordered by ladder depth.
+const (
+	StageNormal  Stage = iota // regular solve
+	StageDamping              // transient recovery: escalated-damping rung
+	StageGmin                 // transient recovery gmin ramp / dcop gmin stepping
+	StageSource               // dcop source stepping
+)
+
+// Rule schedules firings of one fault class. The zero value of every
+// optional field means "no constraint" (Count defaults to one firing).
+type Rule struct {
+	Class Class
+	// Site restricts the rule to one instrumented site; empty selects the
+	// class's natural site.
+	Site Site
+	// After / Until bound the simulation-time window the rule is armed in
+	// (Until == 0 leaves the window open-ended).
+	After, Until float64
+	// Skip ignores the first Skip matching checks before firing begins.
+	Skip int
+	// Count is the firing budget (default 1).
+	Count int
+	// SpareFrom, when > 0, spares solves running at recovery stage >=
+	// SpareFrom, letting that rung of a recovery ladder succeed.
+	SpareFrom Stage
+}
+
+// Firing records one injected fault.
+type Firing struct {
+	Rule  int // index of the rule that fired
+	Class Class
+	Site  Site
+	T     float64
+	Stage Stage
+}
+
+// Injector evaluates fault rules at instrumented sites. All methods are
+// safe for concurrent use and safe on a nil receiver (no-ops).
+type Injector struct {
+	mu    sync.Mutex
+	rules []Rule
+	seen  []int // matching checks per rule
+	fired []int // firings per rule
+	stage Stage
+	log   []Firing
+}
+
+// NewInjector builds an injector from the given rules, filling defaults.
+func NewInjector(rules ...Rule) *Injector {
+	in := &Injector{
+		rules: make([]Rule, len(rules)),
+		seen:  make([]int, len(rules)),
+		fired: make([]int, len(rules)),
+	}
+	for i, r := range rules {
+		if r.Site == "" {
+			r.Site = r.Class.defaultSite()
+		}
+		if r.Count <= 0 {
+			r.Count = 1
+		}
+		in.rules[i] = r
+	}
+	return in
+}
+
+// SetStage marks subsequent checks as running at the given recovery stage.
+// The recovery ladders bracket each rung with SetStage/StageNormal.
+func (in *Injector) SetStage(s Stage) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.stage = s
+	in.mu.Unlock()
+}
+
+// At evaluates the rules for a check at the given site and simulation time,
+// returning the class of the fault to apply, if any. Each firing is
+// recorded and debited against its rule's budget.
+func (in *Injector) At(site Site, t float64) (Class, bool) {
+	if in == nil {
+		return 0, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i := range in.rules {
+		r := &in.rules[i]
+		if r.Site != site || t < r.After || (r.Until > 0 && t > r.Until) {
+			continue
+		}
+		if r.SpareFrom > 0 && in.stage >= r.SpareFrom {
+			continue
+		}
+		in.seen[i]++
+		if in.seen[i] <= r.Skip || in.fired[i] >= r.Count {
+			continue
+		}
+		in.fired[i]++
+		in.log = append(in.log, Firing{Rule: i, Class: r.Class, Site: site, T: t, Stage: in.stage})
+		return r.Class, true
+	}
+	return 0, false
+}
+
+// Firings returns a copy of the firing log.
+func (in *Injector) Firings() []Firing {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Firing, len(in.log))
+	copy(out, in.log)
+	return out
+}
+
+// Fired returns the total number of injected faults so far.
+func (in *Injector) Fired() int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.log)
+}

@@ -1,0 +1,131 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if _, ok := in.At(SiteNewton, 1); ok {
+		t.Fatal("nil injector fired")
+	}
+	in.SetStage(StageGmin) // must not panic
+	if in.Fired() != 0 || in.Firings() != nil {
+		t.Fatal("nil injector has firings")
+	}
+}
+
+func TestDefaultSiteAndSingleFiring(t *testing.T) {
+	in := NewInjector(Rule{Class: Singular})
+	if _, ok := in.At(SiteNewton, 0); ok {
+		t.Fatal("fired at the wrong site")
+	}
+	cls, ok := in.At(SiteFactor, 0)
+	if !ok || cls != Singular {
+		t.Fatalf("At = %v,%v, want Singular firing", cls, ok)
+	}
+	if _, ok := in.At(SiteFactor, 0); ok {
+		t.Fatal("default Count=1 rule fired twice")
+	}
+	if in.Fired() != 1 {
+		t.Fatalf("Fired = %d", in.Fired())
+	}
+}
+
+func TestTimeWindowSkipAndCount(t *testing.T) {
+	in := NewInjector(Rule{Class: NoConvergence, After: 1, Until: 2, Skip: 1, Count: 2})
+	if _, ok := in.At(SiteNewton, 0.5); ok {
+		t.Fatal("fired before the window")
+	}
+	if _, ok := in.At(SiteNewton, 1.5); ok {
+		t.Fatal("fired on the skipped check")
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := in.At(SiteNewton, 1.5); !ok {
+			t.Fatalf("firing %d missing", i)
+		}
+	}
+	if _, ok := in.At(SiteNewton, 1.5); ok {
+		t.Fatal("fired past the budget")
+	}
+	if _, ok := in.At(SiteNewton, 2.5); ok {
+		t.Fatal("fired after the window")
+	}
+}
+
+func TestSpareFromStage(t *testing.T) {
+	in := NewInjector(Rule{Class: NoConvergence, Count: 100, SpareFrom: StageGmin})
+	if _, ok := in.At(SiteNewton, 0); !ok {
+		t.Fatal("normal solve not fired")
+	}
+	in.SetStage(StageDamping)
+	if _, ok := in.At(SiteNewton, 0); !ok {
+		t.Fatal("damping rung should still be fired (below SpareFrom)")
+	}
+	in.SetStage(StageGmin)
+	if _, ok := in.At(SiteNewton, 0); ok {
+		t.Fatal("gmin rung must be spared")
+	}
+	in.SetStage(StageSource)
+	if _, ok := in.At(SiteNewton, 0); ok {
+		t.Fatal("source rung must be spared")
+	}
+	in.SetStage(StageNormal)
+	if _, ok := in.At(SiteNewton, 0); !ok {
+		t.Fatal("back to normal must fire again")
+	}
+	fs := in.Firings()
+	if len(fs) != 3 || fs[1].Stage != StageDamping {
+		t.Fatalf("firing log = %+v", fs)
+	}
+}
+
+func TestConcurrentChecksAreSafe(t *testing.T) {
+	in := NewInjector(Rule{Class: WorkerPanic, Count: 50})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				in.At(SiteWorker, float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if in.Fired() != 50 {
+		t.Fatalf("Fired = %d, want exactly the budget", in.Fired())
+	}
+}
+
+func TestSimErrorContextAndUnwrap(t *testing.T) {
+	err := Wrap("newton", 1e-9, 3, fmt.Errorf("%w after 50 iterations", ErrNoConvergence))
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatal("sentinel lost through Wrap")
+	}
+	var se *SimError
+	if !errors.As(err, &se) || se.Phase != "newton" || se.Node != 3 || se.Time != 1e-9 {
+		t.Fatalf("context lost: %+v", se)
+	}
+	if Wrap("x", 0, -1, nil) != nil {
+		t.Fatal("Wrap(nil) must be nil")
+	}
+	outer := Wrap("transient", 2e-9, -1, fmt.Errorf("%w: %w", ErrStepTooSmall, err))
+	if !errors.Is(outer, ErrStepTooSmall) || !errors.Is(outer, ErrNoConvergence) {
+		t.Fatal("nested sentinels must both be visible")
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	for cls, want := range map[Class]string{
+		NoConvergence: "no-convergence", Singular: "singular",
+		NonFinite: "non-finite", WorkerPanic: "worker-panic", Class(99): "unknown",
+	} {
+		if got := cls.String(); got != want {
+			t.Fatalf("Class(%d).String() = %q, want %q", cls, got, want)
+		}
+	}
+}

@@ -5,16 +5,18 @@
 package newton
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
 	"wavepipe/internal/circuit"
+	"wavepipe/internal/faults"
 	"wavepipe/internal/num"
 )
 
 // ErrNoConvergence is wrapped by Solve when the iteration limit is reached.
-var ErrNoConvergence = errors.New("newton: no convergence")
+// It aliases the shared taxonomy sentinel so callers can branch through
+// either name with errors.Is.
+var ErrNoConvergence = faults.ErrNoConvergence
 
 // Options controls the Newton iteration.
 type Options struct {
@@ -52,18 +54,28 @@ func Solve(ws *circuit.Workspace, x []float64, p circuit.LoadParams, qhist []flo
 		opts.MaxIter = 50
 	}
 	res := Result{}
+	if cls, ok := ws.Faults.At(faults.SiteNewton, p.Time); ok && cls == faults.NoConvergence {
+		return res, faults.Wrap("newton", p.Time, -1, fmt.Errorf("%w (injected)", ErrNoConvergence))
+	}
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		p.FirstIter = iter == 0
 		ws.Load(x, p)
 		limited := ws.Limited
 		ws.Residual(p.Alpha0, qhist, r)
-		if err := factorAndSolve(ws, r, dx); err != nil {
-			return res, fmt.Errorf("newton: iteration %d: %w", iter, err)
+		if err := factorAndSolve(ws, p.Time, r, dx); err != nil {
+			return res, faults.Wrap("newton", p.Time, -1, fmt.Errorf("iteration %d: %w", iter, err))
 		}
 		// x_{k+1} = x_k − J⁻¹·R, with optional per-component damping.
 		maxRatio := applyUpdate(x, dx, opts)
 		ws.FlipState()
 		res.Iters = iter + 1
+		// A NaN/Inf iterate can never converge — every later update test
+		// compares against NaN — so abort at once instead of burning the
+		// whole iteration budget, and name the unknown that went bad.
+		if i := num.NonFiniteIndex(x); i >= 0 {
+			return res, faults.Wrap("newton", p.Time, i,
+				fmt.Errorf("%w in iterate after %d iterations", faults.ErrNonFinite, res.Iters))
+		}
 		// SPICE's convergence rule: accept as soon as the Newton update is
 		// inside the tolerance band, on any iteration — the update was
 		// computed from an exact Jacobian/residual at the previous iterate,
@@ -83,10 +95,14 @@ func Solve(ws *circuit.Workspace, x []float64, p circuit.LoadParams, qhist []flo
 			return res, nil
 		}
 	}
-	return res, fmt.Errorf("%w after %d iterations", ErrNoConvergence, opts.MaxIter)
+	return res, faults.Wrap("newton", p.Time, -1,
+		fmt.Errorf("%w after %d iterations", ErrNoConvergence, opts.MaxIter))
 }
 
-func factorAndSolve(ws *circuit.Workspace, r, dx []float64) error {
+func factorAndSolve(ws *circuit.Workspace, time float64, r, dx []float64) error {
+	if cls, ok := ws.Faults.At(faults.SiteFactor, time); ok && cls == faults.Singular {
+		return fmt.Errorf("%w (injected)", faults.ErrSingular)
+	}
 	if err := ws.Solver.Factorize(); err != nil {
 		return err
 	}
@@ -109,10 +125,16 @@ func ResumeSolve(ws *circuit.Workspace, x []float64, p circuit.LoadParams, qhist
 	res := Result{}
 	ws.Residual(p.Alpha0, qhist, r)
 	if err := ws.Solver.Solve(r, dx); err != nil {
-		return res, fmt.Errorf("newton: resume: %w", err)
+		return res, faults.Wrap("newton", p.Time, -1, fmt.Errorf("resume: %w", err))
 	}
 	maxRatio := applyUpdate(x, dx, opts)
 	res.Iters = 1
+	// Same non-finite guard as Solve: a poisoned warm iterate must fail
+	// fast, not spin through the full continuation below.
+	if i := num.NonFiniteIndex(x); i >= 0 {
+		return res, faults.Wrap("newton", p.Time, i,
+			fmt.Errorf("%w in resumed iterate", faults.ErrNonFinite))
+	}
 	// The assembly and factorization are exact for the warm iterate (only
 	// the history vector changed), so this is a true Newton step and the
 	// standard acceptance rule applies.

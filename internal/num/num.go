@@ -67,6 +67,17 @@ func MaxAbs(v []float64) float64 {
 	return m
 }
 
+// NonFiniteIndex returns the index of the first NaN or ±Inf entry of v, or
+// -1 when every entry is finite.
+func NonFiniteIndex(v []float64) int {
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return i
+		}
+	}
+	return -1
+}
+
 // Dot returns the dot product of a and b (equal lengths required).
 func Dot(a, b []float64) float64 {
 	s := 0.0

@@ -3,6 +3,8 @@ package sparse
 import (
 	"fmt"
 	"math/cmplx"
+
+	"wavepipe/internal/faults"
 )
 
 // ComplexMatrix is an n×n complex sparse matrix sharing the pattern of a
@@ -170,7 +172,7 @@ func FactorizeComplex(m *ComplexMatrix, order []int, pivTol float64) (*ComplexLU
 			}
 		}
 		if pivotRow == -1 || maxAbs < tinyPivot {
-			return nil, fmt.Errorf("sparse: complex matrix is singular at column %d", k)
+			return nil, fmt.Errorf("complex %w at column %d", faults.ErrSingular, k)
 		}
 		if f.rowInv[j] < 0 && mark[j] == k+1 {
 			if a := cmplx.Abs(x[j]); a >= f.pivTol*maxAbs && a >= tinyPivot {

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"wavepipe/internal/faults"
 )
 
 // ErrRefactorPivot is returned by Refactor when a pivot chosen during the
@@ -155,7 +157,7 @@ func Factorize(m *Matrix, ordering Ordering, pivTol float64) (*LU, error) {
 			}
 		}
 		if pivotRow == -1 || maxAbs < tinyPivot {
-			return nil, fmt.Errorf("sparse: matrix is singular at column %d (original column %d)", k, j)
+			return nil, fmt.Errorf("%w at column %d (original column %d)", faults.ErrSingular, k, j)
 		}
 		if f.rowInv[j] < 0 && mark[j] == k+1 {
 			if a := math.Abs(x[j]); a >= f.pivTol*maxAbs && a >= tinyPivot {

@@ -1,0 +1,124 @@
+package transient
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"wavepipe/internal/faults"
+)
+
+// checkRC asserts the run's "out" waveform still matches the RC closed form
+// (tau = 1e-4 s) — recovery must rescue the run without bending the answer.
+func checkRC(t *testing.T, res *Result) {
+	t.Helper()
+	for _, tv := range []float64{1e-4, 3e-4, 8e-4} {
+		got, err := res.W.At("out", tv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 - math.Exp(-tv/1e-4)
+		if math.Abs(got-want) > 0.02 {
+			t.Fatalf("out(%g) = %g, want %g", tv, got, want)
+		}
+	}
+}
+
+// A burst of Newton failures that defeats step shrinking must be rescued by
+// the escalated-damping rung: the rule defeats every normal-stage solve until
+// its budget is spent but spares the ladder from the damping rung up.
+func TestRecoveryDampingRungRescuesRun(t *testing.T) {
+	sys, _ := rcCircuit(1e3, 1e-7) // tau = 1e-4
+	in := faults.NewInjector(faults.Rule{
+		Class:     faults.NoConvergence,
+		After:     1e-16, // spare the t=0 operating point
+		Count:     7,     // exactly the shrink attempts down to the step floor
+		SpareFrom: faults.StageDamping,
+	})
+	res, err := Run(sys, Options{TStop: 1e-3, Faults: in})
+	if err != nil {
+		t.Fatalf("run failed despite recovery ladder: %v", err)
+	}
+	if in.Fired() == 0 {
+		t.Fatal("fault rule never fired")
+	}
+	if got := res.Recovery.Count(RecoveryDamping); got != 1 {
+		t.Fatalf("damping recoveries = %d, want 1 (events: %+v)", got, res.Recovery.Events())
+	}
+	if res.Stats.Recoveries != 1 {
+		t.Fatalf("Stats.Recoveries = %d, want 1", res.Stats.Recoveries)
+	}
+	checkRC(t, res)
+}
+
+// When the damping rung is defeated too, the gmin ramp must take over.
+func TestRecoveryGminRampRescuesRun(t *testing.T) {
+	sys, _ := rcCircuit(1e3, 1e-7)
+	in := faults.NewInjector(faults.Rule{
+		Class:     faults.NoConvergence,
+		After:     1e-16,
+		Count:     9, // 7 shrink attempts + both damping rungs
+		SpareFrom: faults.StageGmin,
+	})
+	res, err := Run(sys, Options{TStop: 1e-3, Faults: in})
+	if err != nil {
+		t.Fatalf("run failed despite gmin ramp: %v", err)
+	}
+	if got := res.Recovery.Count(RecoveryGminRamp); got != 1 {
+		t.Fatalf("gmin recoveries = %d, want 1 (events: %+v)", got, res.Recovery.Events())
+	}
+	if res.Recovery.Count(RecoveryDamping) != 0 {
+		t.Fatalf("damping rung should have been defeated: %+v", res.Recovery.Events())
+	}
+	if res.Stats.Recoveries != 1 {
+		t.Fatalf("Stats.Recoveries = %d, want 1", res.Stats.Recoveries)
+	}
+	checkRC(t, res)
+}
+
+// With every rung defeated the run must fail with the typed step-too-small
+// error carrying the ladder's cause, and still hand back the partial result.
+func TestRecoveryLadderExhaustion(t *testing.T) {
+	sys, _ := rcCircuit(1e3, 1e-7)
+	in := faults.NewInjector(faults.Rule{
+		Class: faults.NoConvergence,
+		After: 1e-16,
+		Count: 1_000_000, // never runs dry; no rung is spared
+	})
+	res, err := Run(sys, Options{TStop: 1e-3, Faults: in})
+	if err == nil {
+		t.Fatal("run succeeded with every solve defeated")
+	}
+	if !errors.Is(err, faults.ErrStepTooSmall) {
+		t.Fatalf("err = %v, want ErrStepTooSmall", err)
+	}
+	if !errors.Is(err, faults.ErrNoConvergence) {
+		t.Fatalf("err = %v, want nested ErrNoConvergence cause", err)
+	}
+	var se *faults.SimError
+	if !errors.As(err, &se) || se.Phase != "transient" {
+		t.Fatalf("missing transient phase context: %v", err)
+	}
+	if res == nil || res.W == nil || res.W.Len() < 1 {
+		t.Fatalf("partial result missing: %+v", res)
+	}
+	if res.FinalX == nil {
+		t.Fatal("partial result has no final solution")
+	}
+}
+
+// A healthy run must record zero recovery events: the ladder is strictly a
+// failure path and must not fire (or cost anything) on the happy path.
+func TestZeroFaultRunHasNoRecoveries(t *testing.T) {
+	sys, _ := rcCircuit(1e3, 1e-7)
+	res, err := Run(sys, Options{TStop: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recovery == nil || res.Recovery.Len() != 0 {
+		t.Fatalf("clean run logged recovery events: %+v", res.Recovery.Events())
+	}
+	if res.Stats.Recoveries != 0 {
+		t.Fatalf("clean run counted %d recoveries", res.Stats.Recoveries)
+	}
+}

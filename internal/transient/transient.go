@@ -13,6 +13,7 @@ import (
 
 	"wavepipe/internal/circuit"
 	"wavepipe/internal/dcop"
+	"wavepipe/internal/faults"
 	"wavepipe/internal/integrate"
 	"wavepipe/internal/newton"
 	"wavepipe/internal/num"
@@ -59,6 +60,9 @@ type Options struct {
 	// LoadWorkers > 1 enables fine-grained parallel device evaluation
 	// inside every assembly pass (the conventional parallel-SPICE baseline).
 	LoadWorkers int
+	// Faults, when non-nil, is a deterministic fault-injection harness shared
+	// by every solver layer of the run (tests only; nil in production).
+	Faults *faults.Injector
 }
 
 func (o Options) WithDefaults() Options {
@@ -99,6 +103,12 @@ type Stats struct {
 	Discarded  int // speculative points thrown away (parallel engines)
 	OpIters    int // operating-point Newton iterations
 	Stages     int // sequential solve rounds on the critical path
+	Recoveries int // points rescued by the convergence-recovery ladder
+	// WorkerPanics counts pipeline-stage worker panics converted to typed
+	// errors; DegradedStages counts stages the pipeline ran serially because
+	// of degradation (not counting post-breakpoint warmup).
+	WorkerPanics   int
+	DegradedStages int
 	// CriticalNanos is the modeled multi-core wall-clock time: per pipeline
 	// stage, the slowest concurrent worker's measured compute time. For the
 	// serial engine it equals the sum of all point-solve times. This is the
@@ -117,14 +127,23 @@ func (s *Stats) Add(other Stats) {
 	s.Discarded += other.Discarded
 	s.OpIters += other.OpIters
 	s.Stages += other.Stages
+	s.Recoveries += other.Recoveries
+	s.WorkerPanics += other.WorkerPanics
+	s.DegradedStages += other.DegradedStages
 	s.CriticalNanos += other.CriticalNanos
 }
 
-// Result is the outcome of a transient analysis.
+// Result is the outcome of a transient analysis. On failure the engines
+// still return the partial Result accumulated so far (waveform, stats,
+// recovery log) alongside the error, so callers can report how far the run
+// got and what was tried.
 type Result struct {
 	W      *waveform.Set
 	Stats  Stats
 	FinalX []float64
+	// Recovery records the robustness actions taken during the run (empty
+	// on a healthy run).
+	Recovery *RecoveryLog
 }
 
 // PointSolver computes implicit solutions at single time points on one
@@ -184,6 +203,12 @@ func Predict(hist *integrate.History, t float64, dst []float64) {
 // polynomial prediction from hist is used). It returns the new point and
 // the coefficients that produced it.
 func (ps *PointSolver) SolveAt(hist *integrate.History, tNew float64, guess []float64) (*integrate.Point, integrate.Coeffs, error) {
+	return ps.solveAtWith(hist, tNew, guess, ps.Newton, 0)
+}
+
+// solveAtWith is SolveAt with explicit Newton options and an optional
+// node-to-ground conductance (the recovery ladder's knobs).
+func (ps *PointSolver) solveAtWith(hist *integrate.History, tNew float64, guess []float64, nopts newton.Options, nodeGmin float64) (*integrate.Point, integrate.Coeffs, error) {
 	n := ps.WS.Sys.N
 	defer ps.model(time.Now(), ps.WS.LoadWallNanos, ps.WS.LoadCritNanos)
 	co, err := integrate.Compute(ps.Method, hist, tNew, ps.qhist)
@@ -196,9 +221,9 @@ func (ps *PointSolver) SolveAt(hist *integrate.History, tNew float64, guess []fl
 	} else {
 		Predict(hist, tNew, x)
 	}
-	p := circuit.LoadParams{Time: tNew, Alpha0: co.Alpha0, Gmin: ps.Gmin, SrcScale: 1}
+	p := circuit.LoadParams{Time: tNew, Alpha0: co.Alpha0, Gmin: ps.Gmin, SrcScale: 1, NodeGmin: nodeGmin}
 	ps.Stats.Solves++
-	res, err := newton.Solve(ps.WS, x, p, ps.qhist, ps.Newton, ps.r, ps.dx)
+	res, err := newton.Solve(ps.WS, x, p, ps.qhist, nopts, ps.r, ps.dx)
 	ps.Stats.NRIters += res.Iters
 	if err != nil {
 		ps.Stats.NRFailures++
@@ -411,8 +436,17 @@ func Run(sys *circuit.System, opts Options) (*Result, error) {
 	opts = opts.WithDefaults()
 	ctrl := opts.Control
 	ps := NewPointSolver(sys, opts.Method, opts.Newton, opts.Gmin)
+	ps.WS.Faults = opts.Faults
 	if opts.LoadWorkers > 1 {
 		ps.WS.SetLoadWorkers(opts.LoadWorkers)
+	}
+	rl := &RecoveryLog{}
+	partial := func(w *waveform.Set, hist *integrate.History) *Result {
+		res := &Result{W: w, Stats: ps.Stats, Recovery: rl}
+		if last := hist.Last(); last != nil {
+			res.FinalX = num.Copy(last.X)
+		}
+		return res
 	}
 
 	p0, err := InitialPoint(sys, ps, opts)
@@ -433,7 +467,7 @@ func Run(sys *circuit.System, opts Options) (*Result, error) {
 
 	for t < opts.TStop*(1-1e-12) {
 		if ps.Stats.Points >= opts.MaxPoints {
-			return nil, fmt.Errorf("transient: exceeded %d points at t=%g", opts.MaxPoints, t)
+			return partial(w, hist), fmt.Errorf("transient: exceeded %d points at t=%g", opts.MaxPoints, t)
 		}
 		// Advance past consumed breakpoints.
 		for nextBp < len(bps) && bps[nextBp] <= t*(1+1e-12) {
@@ -456,11 +490,26 @@ func Run(sys *circuit.System, opts Options) (*Result, error) {
 
 		pt, co, err := ps.SolveAt(hist, tNew, nil)
 		if err != nil {
-			h /= 8
-			if h < ctrl.HMin {
-				return nil, fmt.Errorf("transient: time step too small at t=%g: %w", t, err)
+			// Step shrinking is the cheap first response; once the floor is
+			// reached the convergence-recovery ladder takes over at the
+			// smallest representable step.
+			if h/8 >= ctrl.HMin {
+				h /= 8
+				continue
 			}
-			continue
+			h = ctrl.HMin
+			tNew = t + h
+			hitBp = tNew >= tLimit-0.01*h
+			if hitBp {
+				tNew = tLimit
+			}
+			pt, co, err = ps.RecoverAt(hist, tNew, rl)
+			if err != nil {
+				return partial(w, hist), &faults.SimError{
+					Phase: "transient", Time: t, Node: -1,
+					Cause: fmt.Errorf("%w at t=%g: %w", faults.ErrStepTooSmall, t, err),
+				}
+			}
 		}
 
 		// LTE acceptance (the norm is also what sizes the next step). With
@@ -516,5 +565,5 @@ func Run(sys *circuit.System, opts Options) (*Result, error) {
 
 	last := hist.Last()
 	ps.Stats.Stages = ps.Stats.Solves // serial: every solve is sequential
-	return &Result{W: w, Stats: ps.Stats, FinalX: num.Copy(last.X)}, nil
+	return &Result{W: w, Stats: ps.Stats, FinalX: num.Copy(last.X), Recovery: rl}, nil
 }

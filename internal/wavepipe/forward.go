@@ -1,6 +1,9 @@
 package wavepipe
 
 import (
+	"errors"
+
+	"wavepipe/internal/faults"
 	"wavepipe/internal/integrate"
 	"wavepipe/internal/num"
 )
@@ -75,6 +78,10 @@ func (e *engine) forwardStage(combined bool) error {
 
 	// ---- Phase A ----
 	var main, back1 pointResult
+	// Warm-start tasks get their own result slots purely for panic capture:
+	// a panicked warm-up leaves warmFwd/warmB2 nil and phase B falls back to
+	// a cold solve.
+	var warmFwdRes, warmB2Res pointResult
 	var warmFwd, warmB2 []float64
 	var warmFwdNanos, warmB2Nanos int64
 	// The predicted history mirrors the spacing of the true one (including
@@ -88,36 +95,40 @@ func (e *engine) forwardStage(combined bool) error {
 		ph.Add(predictPoint(e.hist, t1, e.sys.N))
 		return ph
 	}
-	tasksA := []func(){func() {
+	tasksA := []func(){e.guardTask(t1, &main, func() {
 		pt, co, err := e.solvers[0].SolveAt(e.hist, t1, nil)
 		main = pointResult{pt: pt, co: co, err: err}
-	}}
+	})}
 	if doBack1 {
-		tasksA = append(tasksA, func() {
+		tasksA = append(tasksA, e.guardTask(t1-delta, &back1, func() {
 			pt, co, err := e.solvers[2].SolveAt(e.hist, t1-delta, nil)
 			back1 = pointResult{pt: pt, co: co, err: err}
-		})
+		}))
 	}
 	depth := e.warmDepth()
 	if doForward {
-		tasksA = append(tasksA, func() {
+		tasksA = append(tasksA, e.guardTask(t2, &warmFwdRes, func() {
 			warmFwd = e.solvers[1].WarmStart(predicted(), t2, depth)
 			warmFwdNanos = e.solvers[1].LastNanos
-		})
+		}))
 	}
 	if doBack2 {
-		tasksA = append(tasksA, func() {
+		tasksA = append(tasksA, e.guardTask(t2-delta, &warmB2Res, func() {
 			warmB2 = e.solvers[3].WarmStart(predicted(), t2-delta, depth)
 			warmB2Nanos = e.solvers[3].LastNanos
-		})
+		}))
 	}
 	e.runTasks(tasksA...)
+	e.notePanics(&main, &back1, &warmFwdRes, &warmB2Res)
 	e.critNanos += e.phaseACrit(doBack1, warmFwdNanos, warmB2Nanos)
 	e.noteMainIters(e.solvers[0].LastIters)
 
 	if main.err != nil {
 		e.discarded += boolCount(doBack1)
-		return e.shrinkAfterFailure()
+		if !errors.Is(main.err, faults.ErrWorkerPanic) {
+			e.shrinkAfterFailure()
+		}
+		return nil
 	}
 
 	// ---- Phase B (speculative with respect to the LTE checks below) ----
@@ -129,17 +140,18 @@ func (e *engine) forwardStage(combined bool) error {
 			trueHist.Add(back1.pt)
 		}
 		trueHist.Add(main.pt)
-		tasksB := []func(){func() {
+		tasksB := []func(){e.guardTask(t2, &fwd, func() {
 			pt, co, err := e.solvers[1].ResumeAt(trueHist, t2, warmFwd)
 			fwd = pointResult{pt: pt, co: co, err: err}
-		}}
+		})}
 		if doBack2 {
-			tasksB = append(tasksB, func() {
+			tasksB = append(tasksB, e.guardTask(t2-delta, &back2, func() {
 				pt, co, err := e.solvers[3].ResumeAt(trueHist, t2-delta, warmB2)
 				back2 = pointResult{pt: pt, co: co, err: err}
-			})
+			}))
 		}
 		e.runTasks(tasksB...)
+		e.notePanics(&fwd, &back2)
 		e.critNanos += e.phaseBCrit(doBack2)
 	}
 

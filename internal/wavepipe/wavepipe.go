@@ -28,6 +28,7 @@
 package wavepipe
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -35,6 +36,7 @@ import (
 	"sync"
 
 	"wavepipe/internal/circuit"
+	"wavepipe/internal/faults"
 	"wavepipe/internal/integrate"
 	"wavepipe/internal/num"
 	"wavepipe/internal/transient"
@@ -138,9 +140,13 @@ func Run(sys *circuit.System, opts Options) (*transient.Result, error) {
 		// critical-path model; the stage tasks are mutually independent, so
 		// they can run sequentially with identical results.
 		seq: runtime.GOMAXPROCS(0) < opts.Threads && !opts.ForceParallelWorkers,
+		rl:  &transient.RecoveryLog{},
+		flt: base.Faults,
 	}
 	for i := 0; i < opts.Threads; i++ {
-		e.solvers = append(e.solvers, transient.NewPointSolver(sys, base.Method, base.Newton, base.Gmin))
+		s := transient.NewPointSolver(sys, base.Method, base.Newton, base.Gmin)
+		s.WS.Faults = base.Faults
+		e.solvers = append(e.solvers, s)
 	}
 
 	p0, err := transient.InitialPoint(sys, e.solvers[0], base)
@@ -157,7 +163,7 @@ func Run(sys *circuit.System, opts Options) (*transient.Result, error) {
 
 	for e.t() < base.TStop*(1-1e-12) {
 		if e.points >= base.MaxPoints {
-			return nil, fmt.Errorf("wavepipe: exceeded %d points at t=%g", base.MaxPoints, e.t())
+			return e.result(), fmt.Errorf("wavepipe: exceeded %d points at t=%g", base.MaxPoints, e.t())
 		}
 		e.stages++
 		if debugSteps && e.stages%100000 == 0 {
@@ -167,11 +173,13 @@ func Run(sys *circuit.System, opts Options) (*transient.Result, error) {
 		}
 		var err error
 		switch {
-		case e.warmup > 0:
+		case e.warmup > 0 || e.degraded > 0:
 			// Pipeline flush: after a waveform discontinuity the truncation-
 			// error checks have no valid history, so speculative points
 			// would be accepted blind. Like a hardware pipeline after a
-			// branch, refill serially until LTE control re-engages.
+			// branch, refill serially until LTE control re-engages. The same
+			// serial path is the degradation fallback after worker panics or
+			// repeated stage failures (see degrade).
 			err = e.serialStage()
 		case opts.Scheme == SchemeForward:
 			err = e.forwardStage(false)
@@ -181,10 +189,15 @@ func Run(sys *circuit.System, opts Options) (*transient.Result, error) {
 			err = e.backwardStage()
 		}
 		if err != nil {
-			return nil, err
+			return e.result(), err
 		}
 	}
 
+	return e.result(), nil
+}
+
+// result assembles the (possibly partial) run outcome from the engine state.
+func (e *engine) result() *transient.Result {
 	stats := transient.Stats{}
 	for _, s := range e.solvers {
 		stats.Add(s.Stats)
@@ -193,10 +206,12 @@ func Run(sys *circuit.System, opts Options) (*transient.Result, error) {
 	stats.LTERejects = e.lteRejects
 	stats.Discarded = e.discarded
 	stats.Stages = e.stages
+	stats.WorkerPanics = e.workerPanics
+	stats.DegradedStages = e.degradedStages
 	// The summed per-solver CriticalNanos is total work; replace it with
 	// the pipeline critical path accumulated per stage.
 	stats.CriticalNanos = e.critNanos
-	return &transient.Result{W: e.w, Stats: stats, FinalX: num.Copy(e.hist.Last().X)}, nil
+	return &transient.Result{W: e.w, Stats: stats, FinalX: num.Copy(e.hist.Last().X), Recovery: e.rl}
 }
 
 // engine holds the per-run coordinator state. Worker goroutines only touch
@@ -218,12 +233,22 @@ type engine struct {
 	warmup     int // serial stages remaining after a pipeline flush
 	seq        bool
 
-	points     int
-	lteRejects int
-	discarded  int
-	stages     int
-	critNanos  int64
-	emaIters   float64 // rolling main-solve Newton iteration count
+	// Robustness state: the run's recovery log and fault harness, the
+	// remaining serial-fallback window, and the consecutive-failure streak
+	// that triggers it.
+	rl         *transient.RecoveryLog
+	flt        *faults.Injector
+	degraded   int
+	failStreak int
+
+	points         int
+	lteRejects     int
+	discarded      int
+	stages         int
+	workerPanics   int
+	degradedStages int
+	critNanos      int64
+	emaIters       float64 // rolling main-solve Newton iteration count
 }
 
 // t returns the current simulation time.
@@ -309,11 +334,57 @@ func (e *engine) lteNormAgainst(hist *integrate.History, res pointResult) float6
 	return e.ctrl.CheckLTE(e.base.Method, res.co.Order, pts, res.co.H0, res.co.H1)
 }
 
-// accept publishes a point into the history and the waveform set.
+// accept publishes a point into the history and the waveform set. Any
+// accepted point is progress, so the failure streak resets.
 func (e *engine) accept(pt *integrate.Point) {
 	e.hist.Add(pt)
 	e.w.Append(pt.T, pt.X)
 	e.points++
+	e.failStreak = 0
+}
+
+// degradeWindow is how many serial stages the pipeline runs after a
+// degradation trigger before re-entering pipelined operation.
+const degradeWindow = 8
+
+// degrade drops the pipeline to serial integration for the next
+// degradeWindow stages. The first trigger of a window is logged.
+func (e *engine) degrade(reason string) {
+	if e.degraded == 0 {
+		e.rl.Note(e.t(), transient.RecoverySerialFallback, reason)
+	}
+	e.degraded = degradeWindow
+}
+
+// guardTask wraps one stage-worker task so that a panic (real or injected)
+// surfaces as a typed error on res instead of killing the process — a bad
+// device model must cost at most the stage, never the run.
+func (e *engine) guardTask(tTarget float64, res *pointResult, f func()) func() {
+	return func() {
+		defer func() {
+			if r := recover(); r != nil {
+				res.err = &faults.SimError{
+					Phase: "wavepipe", Time: tTarget, Node: -1,
+					Cause: fmt.Errorf("%w: %v", faults.ErrWorkerPanic, r),
+				}
+			}
+		}()
+		if cls, ok := e.flt.At(faults.SiteWorker, tTarget); ok && cls == faults.WorkerPanic {
+			panic(fmt.Sprintf("injected worker panic at t=%g", tTarget))
+		}
+		f()
+	}
+}
+
+// notePanics counts worker panics among the stage's results and schedules
+// the serial-fallback window.
+func (e *engine) notePanics(results ...*pointResult) {
+	for _, r := range results {
+		if r != nil && r.err != nil && errors.Is(r.err, faults.ErrWorkerPanic) {
+			e.workerPanics++
+			e.degrade("worker panic")
+		}
+	}
 }
 
 // serialStage advances one plain single-point step (the pipeline-flush
@@ -329,7 +400,27 @@ func (e *engine) serialStage() error {
 	}
 	pt, co, err := e.solvers[0].SolveAt(e.hist, tNew, nil)
 	if err != nil {
-		return e.shrinkAfterFailure()
+		// Step shrinking first; at the floor, the serial stage is the
+		// pipeline's last line of defense, so it climbs the same
+		// convergence-recovery ladder as the serial engine.
+		if e.h/8 >= e.ctrl.HMin {
+			e.failStreak++
+			e.h /= 8
+			return nil
+		}
+		e.h = e.ctrl.HMin
+		tNew = t + e.h
+		hitBp = tNew >= limit-0.01*e.h
+		if hitBp {
+			tNew = limit
+		}
+		pt, co, err = e.solvers[0].RecoverAt(e.hist, tNew, e.rl)
+		if err != nil {
+			return &faults.SimError{
+				Phase: "wavepipe", Time: t, Node: -1,
+				Cause: fmt.Errorf("%w at t=%g: %w", faults.ErrStepTooSmall, t, err),
+			}
+		}
 	}
 	e.critNanos += e.solvers[0].LastNanos
 	res := pointResult{pt: pt, co: co}
@@ -346,7 +437,12 @@ func (e *engine) serialStage() error {
 		return nil
 	}
 	e.afterBreak = false
-	e.warmup--
+	if e.warmup > 0 {
+		e.warmup--
+	} else if e.degraded > 0 {
+		e.degraded--
+		e.degradedStages++
+	}
 	e.nextStep(co.H0, 1, norm, co.H1)
 	return nil
 }
@@ -407,13 +503,19 @@ func (e *engine) nextStep(hUsed float64, accepted int, norm, h1Solve float64) {
 // debugSteps enables step-decision tracing (tests/diagnostics only).
 var debugSteps = os.Getenv("WAVEPIPE_DEBUG") != ""
 
-// shrinkAfterFailure reduces the stage step after a Newton failure.
-func (e *engine) shrinkAfterFailure() error {
+// shrinkAfterFailure reduces the stage step after a Newton failure. It never
+// fails the run: repeated failures and the step floor both hand control to
+// the serial fallback, whose recovery ladder is the last word.
+func (e *engine) shrinkAfterFailure() {
+	e.failStreak++
+	if e.failStreak >= 3 {
+		e.degrade("repeated stage failure")
+	}
 	e.h /= 8
 	if e.h < e.ctrl.HMin {
-		return fmt.Errorf("wavepipe: time step too small at t=%g", e.t())
+		e.h = e.ctrl.HMin
+		e.degrade("step floor reached")
 	}
-	return nil
 }
 
 // backwardStage runs one backward-pipelining stage: the main point t+h and
@@ -446,12 +548,15 @@ func (e *engine) backwardStage() error {
 	tasks := make([]func(), len(targets))
 	for i := range targets {
 		i := i
-		tasks[i] = func() {
+		tasks[i] = e.guardTask(targets[i], &results[i], func() {
 			pt, co, err := e.solvers[i].SolveAt(e.hist, targets[i], nil)
 			results[i] = pointResult{pt: pt, co: co, err: err}
-		}
+		})
 	}
 	e.runTasks(tasks...)
+	for i := range results {
+		e.notePanics(&results[i])
+	}
 	// Stage critical path: the slowest of the concurrent workers.
 	var stageCrit int64
 	for i := range targets {
@@ -463,7 +568,14 @@ func (e *engine) backwardStage() error {
 
 	main := results[len(results)-1]
 	if main.err != nil {
-		return e.shrinkAfterFailure()
+		e.discarded += len(targets) - 1
+		if !errors.Is(main.err, faults.ErrWorkerPanic) {
+			// A panicked main worker is not a step-size problem; the
+			// scheduled serial fallback simply redoes the point. Newton
+			// failures shrink the step as before.
+			e.shrinkAfterFailure()
+		}
+		return nil
 	}
 	mainNorm := e.lteNorm(main)
 	if mainNorm > 1 && main.co.H0 > e.ctrl.HMin*1.01 && !e.afterBreak {

@@ -24,6 +24,7 @@ import (
 
 	"wavepipe/internal/circuit"
 	"wavepipe/internal/device"
+	"wavepipe/internal/faults"
 	"wavepipe/internal/integrate"
 	"wavepipe/internal/netlist"
 	"wavepipe/internal/transient"
@@ -64,7 +65,44 @@ type (
 	Deck = netlist.Deck
 	// TranSpec is a parsed .TRAN directive.
 	TranSpec = netlist.TranSpec
+	// SimError is the typed simulation error: phase, time point and (when
+	// known) the offending unknown, wrapping one of the Err* sentinels.
+	SimError = faults.SimError
+	// RecoveryLog and RecoveryEvent record the robustness actions (recovery
+	// ladder climbs, serial fallbacks) a run took; see Result.Recovery.
+	RecoveryLog   = transient.RecoveryLog
+	RecoveryEvent = transient.RecoveryEvent
+	// FaultInjector is the deterministic fault-injection harness (tests and
+	// robustness drills only; see TranOptions.Faults).
+	FaultInjector = faults.Injector
+	// FaultRule schedules one fault class at an instrumented site.
+	FaultRule = faults.Rule
+	// FaultClass enumerates the injectable fault classes.
+	FaultClass = faults.Class
 )
+
+// Injectable fault classes.
+const (
+	FaultNoConvergence = faults.NoConvergence
+	FaultSingular      = faults.Singular
+	FaultNonFinite     = faults.NonFinite
+	FaultWorkerPanic   = faults.WorkerPanic
+)
+
+// Error taxonomy sentinels: every engine failure wraps one of these, so
+// callers can branch with errors.Is regardless of which layer failed.
+var (
+	ErrNoConvergence = faults.ErrNoConvergence
+	ErrSingular      = faults.ErrSingular
+	ErrNonFinite     = faults.ErrNonFinite
+	ErrStepTooSmall  = faults.ErrStepTooSmall
+	ErrWorkerPanic   = faults.ErrWorkerPanic
+)
+
+// NewFaultInjector builds a fault harness from the given rules.
+func NewFaultInjector(rules ...FaultRule) *FaultInjector {
+	return faults.NewInjector(rules...)
+}
 
 // MOSFET polarities.
 const (
@@ -205,6 +243,9 @@ type TranOptions struct {
 	DeltaRatio float64
 	// AggressiveGrowth enables the per-point growth-cap credit (ablation).
 	AggressiveGrowth bool
+	// Faults injects deterministic solver faults for robustness testing
+	// (nil in production runs).
+	Faults *FaultInjector
 }
 
 // Result is the outcome of a transient analysis.
@@ -302,6 +343,7 @@ func baseOptions(sys *System, opts TranOptions) (transient.Options, error) {
 		Method: opts.Method,
 		HInit:  opts.InitStep,
 		UIC:    opts.UIC,
+		Faults: opts.Faults,
 	}
 	ctrl := integrate.DefaultControl(opts.TStop)
 	if opts.RelTol > 0 {

@@ -1,0 +1,145 @@
+package main
+
+// Machine-readable metrics (-json) and the load-scaling figure: the
+// measurements that seed BENCH_*.json perf-trajectory tracking and the
+// EXPERIMENTS.md sharded-vs-colored assembly comparison.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"wavepipe"
+	"wavepipe/internal/circuit"
+	"wavepipe/internal/circuits"
+)
+
+// benchMetrics is one benchmark's machine-readable record.
+type benchMetrics struct {
+	Circuit                string  `json:"circuit"`
+	Scheme                 string  `json:"scheme"`
+	NsPerOp                int64   `json:"ns_per_op"`
+	AllocsPerOp            uint64  `json:"allocs_per_op"`
+	Points                 int     `json:"points"`
+	Stages                 int     `json:"stages"`
+	NRIters                int     `json:"nr_iters"`
+	BypassTol              float64 `json:"bypass_tol"`
+	BypassedFactorizations int     `json:"bypassed_factorizations"`
+	Refactorizations       int     `json:"refactorizations"`
+	FullFactorizations     int     `json:"full_factorizations"`
+	LoadSerialNs           int64   `json:"load_serial_ns"`
+	LoadSharded4Ns         int64   `json:"load_sharded4_ns"`
+	LoadColored4Ns         int64   `json:"load_colored4_ns"`
+	// LoadReductionNs is what one device-load call saves under the colored
+	// direct-stamp path relative to shard-and-reduce at 4 workers.
+	LoadReductionNs int64 `json:"load_reduction_ns"`
+}
+
+// measureLoadNs returns the fastest observed wall time of one full device
+// load under the given assembly configuration (workers <= 1 is the plain
+// serial path).
+func measureLoadNs(sys *circuit.System, mode circuit.LoadMode, workers int) int64 {
+	ws := sys.NewWorkspace()
+	if workers > 1 {
+		ws.SetLoadWorkers(workers)
+		ws.SetLoadMode(mode)
+	}
+	x := make([]float64, sys.N)
+	p := circuit.LoadParams{Alpha0: 1e9, Gmin: 1e-12, SrcScale: 1}
+	ws.Load(x, p) // warm up (coloring probe, pools)
+	const iters = 20
+	best := int64(0)
+	for r := 0; r < 5; r++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			ws.Load(x, p)
+		}
+		d := time.Since(start).Nanoseconds() / iters
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// jsonMetrics runs the selected circuit once per configuration and emits a
+// JSON array of benchMetrics on stdout.
+func jsonMetrics(benchName string, bypassTol float64) error {
+	var records []benchMetrics
+	for _, b := range circuits.Suite() {
+		if benchName != "all" && b.Name != benchName {
+			continue
+		}
+		sys, err := build(b)
+		if err != nil {
+			return err
+		}
+		loadSerial := measureLoadNs(sys, circuit.LoadAuto, 1)
+		loadSharded := measureLoadNs(sys, circuit.LoadSharded, 4)
+		loadColored := measureLoadNs(sys, circuit.LoadColored, 4)
+		opts := wavepipe.TranOptions{
+			TStop:     window(b),
+			Record:    []string{b.Probe},
+			BypassTol: bypassTol,
+		}
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		res, err := wavepipe.RunTransient(sys, opts)
+		wall := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.Name, err)
+		}
+		records = append(records, benchMetrics{
+			Circuit:                b.Name,
+			Scheme:                 "serial",
+			NsPerOp:                wall.Nanoseconds(),
+			AllocsPerOp:            ms1.Mallocs - ms0.Mallocs,
+			Points:                 res.Stats.Points,
+			Stages:                 res.Stats.Stages,
+			NRIters:                res.Stats.NRIters,
+			BypassTol:              bypassTol,
+			BypassedFactorizations: res.Stats.BypassedFactorizations,
+			Refactorizations:       res.Stats.Refactorizations,
+			FullFactorizations:     res.Stats.FullFactorizations,
+			LoadSerialNs:           loadSerial,
+			LoadSharded4Ns:         loadSharded,
+			LoadColored4Ns:         loadColored,
+			LoadReductionNs:        loadSharded - loadColored,
+		})
+	}
+	if len(records) == 0 {
+		return fmt.Errorf("no benchmark circuit %q", benchName)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(records)
+}
+
+// figLoadScale prints the sharded-vs-colored assembly comparison: one full
+// device load at 1/2/4 workers under both strategies, per suite circuit.
+func figLoadScale() error {
+	fmt.Println("Figure F6: device-load assembly scaling, sharded vs colored (ns per load)")
+	fmt.Printf("%-10s %8s %10s %10s %10s %10s %8s %8s\n",
+		"circuit", "serial", "shard2", "shard4", "color2", "color4", "sp2", "sp4")
+	for _, b := range circuits.Suite() {
+		sys, err := build(b)
+		if err != nil {
+			return err
+		}
+		serial := measureLoadNs(sys, circuit.LoadAuto, 1)
+		sh2 := measureLoadNs(sys, circuit.LoadSharded, 2)
+		sh4 := measureLoadNs(sys, circuit.LoadSharded, 4)
+		co2 := measureLoadNs(sys, circuit.LoadColored, 2)
+		co4 := measureLoadNs(sys, circuit.LoadColored, 4)
+		fmt.Printf("%-10s %8d %10d %10d %10d %10d %8.2f %8.2f\n",
+			b.Name, serial, sh2, sh4, co2, co4,
+			float64(sh2)/float64(co2), float64(sh4)/float64(co4))
+	}
+	fmt.Println("sp2/sp4: sharded-vs-colored time ratio at the same worker count (>1 favours colored)")
+	return nil
+}

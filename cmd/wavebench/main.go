@@ -30,10 +30,20 @@ var (
 
 func main() {
 	table := flag.Int("table", 0, "regenerate table N (1-4)")
-	fig := flag.String("fig", "", "regenerate figure: stepsize, accuracy, scaling, work, fwp, ablation")
+	fig := flag.String("fig", "", "regenerate figure: stepsize, accuracy, scaling, work, fwp, ablation, loadscale")
 	all := flag.Bool("all", false, "regenerate every table and figure")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON metrics (see -bench, -bypasstol)")
+	benchName := flag.String("bench", "grid16", "circuit for -json (a suite name, or all)")
+	bypassTol := flag.Float64("bypasstol", 0, "factorization-bypass tolerance for the -json run")
 	flag.Parse()
 
+	if *jsonOut {
+		if err := jsonMetrics(*benchName, *bypassTol); err != nil {
+			fmt.Fprintln(os.Stderr, "wavebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if !*all && *table == 0 && *fig == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -80,6 +90,9 @@ func main() {
 	}
 	if *all || *fig == "ablation" {
 		run("ablation", figAblation)
+	}
+	if *all || *fig == "loadscale" {
+		run("loadscale", figLoadScale)
 	}
 }
 

@@ -70,6 +70,8 @@ func main() {
 		intervalFlag = flag.String("interval", "", "resample transient output uniformly at this interval (e.g. 1u); default: the solver's own time points")
 		outFlag      = flag.String("o", "", "CSV output file (default: stdout)")
 		statsFlag    = flag.Bool("stats", false, "print run statistics to stderr")
+		bypassFlag   = flag.Float64("bypasstol", 0, "Newton factorization-bypass tolerance (0 = always factorize)")
+		loadModeFlag = flag.String("loadmode", "auto", "parallel device-assembly strategy: auto, sharded, colored")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -78,7 +80,7 @@ func main() {
 		os.Exit(exitUsage)
 	}
 
-	if err := run(flag.Arg(0), *analysisFlag, *schemeFlag, *methodFlag, *tstopFlag, *probeFlag, *outFlag, *intervalFlag, *threadsFlag, *statsFlag); err != nil {
+	if err := run(flag.Arg(0), *analysisFlag, *schemeFlag, *methodFlag, *tstopFlag, *probeFlag, *outFlag, *intervalFlag, *loadModeFlag, *threadsFlag, *bypassFlag, *statsFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "wavesim:", err)
 		os.Exit(exitCodeFor(err))
 	}
@@ -101,7 +103,7 @@ func reportFailure(w *os.File, res *wavepipe.Result, err error) {
 	}
 }
 
-func run(deckPath, analysis, schemeName, methodName, tstop, probes, outPath, interval string, threads int, stats bool) error {
+func run(deckPath, analysis, schemeName, methodName, tstop, probes, outPath, interval, loadMode string, threads int, bypassTol float64, stats bool) error {
 	src, err := os.ReadFile(deckPath)
 	if err != nil {
 		return err
@@ -143,7 +145,17 @@ func run(deckPath, analysis, schemeName, methodName, tstop, probes, outPath, int
 		return fmt.Errorf("unknown analysis %q", analysis)
 	}
 
-	opts := wavepipe.TranOptions{Threads: threads}
+	opts := wavepipe.TranOptions{Threads: threads, BypassTol: bypassTol}
+	switch strings.ToLower(loadMode) {
+	case "auto", "":
+		opts.LoadMode = wavepipe.LoadAuto
+	case "sharded":
+		opts.LoadMode = wavepipe.LoadSharded
+	case "colored":
+		opts.LoadMode = wavepipe.LoadColored
+	default:
+		return fmt.Errorf("unknown load mode %q", loadMode)
+	}
 	switch strings.ToLower(schemeName) {
 	case "serial":
 		opts.Scheme = wavepipe.Serial
@@ -200,10 +212,11 @@ func run(deckPath, analysis, schemeName, methodName, tstop, probes, outPath, int
 	}
 	if stats {
 		fmt.Fprintf(os.Stderr,
-			"wavesim: %s | scheme=%s points=%d stages=%d nr-iters=%d lte-rejects=%d discarded=%d recoveries=%d wall=%s\n",
+			"wavesim: %s | scheme=%s points=%d stages=%d nr-iters=%d lte-rejects=%d discarded=%d recoveries=%d full-factor=%d refactor=%d bypassed=%d wall=%s\n",
 			deck.Title, schemeName, res.Stats.Points, res.Stats.Stages,
 			res.Stats.NRIters, res.Stats.LTERejects, res.Stats.Discarded,
-			res.Stats.Recoveries, wall.Round(time.Microsecond))
+			res.Stats.Recoveries, res.Stats.FullFactorizations, res.Stats.Refactorizations,
+			res.Stats.BypassedFactorizations, wall.Round(time.Microsecond))
 		for _, e := range res.Recovery.Events() {
 			fmt.Fprintf(os.Stderr, "wavesim:   recovery at t=%g: %s %s\n", e.T, e.Kind, e.Detail)
 		}

@@ -29,7 +29,7 @@ C1 out 0 1n
 func runToFile(t *testing.T, analysis, scheme, deckPath string) string {
 	t.Helper()
 	out := filepath.Join(t.TempDir(), "out.csv")
-	if err := run(deckPath, analysis, scheme, "gear2", "", "out", out, "", 2, false); err != nil {
+	if err := run(deckPath, analysis, scheme, "gear2", "", "out", out, "", "auto", 2, 0, false); err != nil {
 		t.Fatalf("%s/%s: %v", analysis, scheme, err)
 	}
 	data, err := os.ReadFile(out)
@@ -68,22 +68,22 @@ func TestRunACAndDC(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	deck := writeDeck(t, simDeck)
-	if err := run(deck, "tran", "bogus", "gear2", "", "", "", "", 0, false); err == nil {
+	if err := run(deck, "tran", "bogus", "gear2", "", "", "", "", "auto", 0, 0, false); err == nil {
 		t.Fatal("bad scheme must fail")
 	}
-	if err := run(deck, "bogus", "serial", "gear2", "", "", "", "", 0, false); err == nil {
+	if err := run(deck, "bogus", "serial", "gear2", "", "", "", "", "auto", 0, 0, false); err == nil {
 		t.Fatal("bad analysis must fail")
 	}
-	if err := run(deck, "tran", "serial", "bogus", "", "", "", "", 0, false); err == nil {
+	if err := run(deck, "tran", "serial", "bogus", "", "", "", "", "auto", 0, 0, false); err == nil {
 		t.Fatal("bad method must fail")
 	}
-	if err := run(deck, "tran", "serial", "gear2", "zz", "", "", "", 0, false); err == nil {
+	if err := run(deck, "tran", "serial", "gear2", "zz", "", "", "", "auto", 0, 0, false); err == nil {
 		t.Fatal("bad tstop must fail")
 	}
-	if err := run(deck, "tran", "serial", "gear2", "", "", "", "zz", 0, false); err == nil {
+	if err := run(deck, "tran", "serial", "gear2", "", "", "", "zz", "auto", 0, 0, false); err == nil {
 		t.Fatal("bad interval must fail")
 	}
-	if err := run("/nonexistent.sp", "tran", "serial", "gear2", "", "", "", "", 0, false); err == nil {
+	if err := run("/nonexistent.sp", "tran", "serial", "gear2", "", "", "", "", "auto", 0, 0, false); err == nil {
 		t.Fatal("missing deck must fail")
 	}
 }
@@ -91,7 +91,7 @@ func TestRunErrors(t *testing.T) {
 func TestResampledOutput(t *testing.T) {
 	deck := writeDeck(t, simDeck)
 	out := filepath.Join(t.TempDir(), "o.csv")
-	if err := run(deck, "tran", "serial", "gear2", "10u", "out", out, "1u", 0, false); err != nil {
+	if err := run(deck, "tran", "serial", "gear2", "10u", "out", out, "1u", "auto", 0, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	data, _ := os.ReadFile(out)
@@ -108,7 +108,7 @@ func TestTstopOverrideAndMethods(t *testing.T) {
 	deck := writeDeck(t, simDeck)
 	out := filepath.Join(t.TempDir(), "o.csv")
 	for _, method := range []string{"gear2", "trap", "be"} {
-		if err := run(deck, "tran", "serial", method, "5u", "out", out, "", 0, true); err != nil {
+		if err := run(deck, "tran", "serial", method, "5u", "out", out, "", "auto", 0, 0, true); err != nil {
 			t.Fatalf("%s: %v", method, err)
 		}
 		data, _ := os.ReadFile(out)

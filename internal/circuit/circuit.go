@@ -16,6 +16,7 @@ package circuit
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"wavepipe/internal/faults"
@@ -118,9 +119,9 @@ func (c *Circuit) Build() (*System, error) {
 	}
 	n := branch
 	b := sparse.NewBuilder(n)
-	r := &Reserver{b: b}
-	for _, d := range c.devices {
-		r.current = d
+	r := &Reserver{b: b, devRows: make([][]int, len(c.devices))}
+	for i, d := range c.devices {
+		r.current, r.devIdx = d, i
 		d.Reserve(r)
 	}
 	// Reserve every diagonal so gmin continuation can always shunt node
@@ -144,13 +145,14 @@ func (c *Circuit) Build() (*System, error) {
 		}
 	}
 	return &System{
-		Circuit:     c,
-		N:           n,
-		NumNodes:    numNodes,
-		NumBranches: n - numNodes,
-		NumStates:   state,
-		pattern:     m,
-		diagSlots:   diag,
+		Circuit:      c,
+		N:            n,
+		NumNodes:     numNodes,
+		NumBranches:  n - numNodes,
+		NumStates:    state,
+		pattern:      m,
+		diagSlots:    diag,
+		colorClasses: buildColoring(c, m, n, state, r.devRows),
 	}, nil
 }
 
@@ -158,12 +160,17 @@ func (c *Circuit) Build() (*System, error) {
 type Reserver struct {
 	b           *sparse.Builder
 	current     Device
+	devIdx      int
+	devRows     [][]int // per-device rows named in J calls (coloring footprint)
 	touchedRows []int
 }
 
 // J reserves the Jacobian slot (row, col) and returns its id, or -1 when
 // either index is Ground (stamps to -1 are discarded at Eval time).
 func (r *Reserver) J(row, col int) int {
+	if row != Ground {
+		r.devRows[r.devIdx] = append(r.devRows[r.devIdx], row)
+	}
 	if row == Ground || col == Ground {
 		return -1
 	}
@@ -183,7 +190,33 @@ type System struct {
 
 	pattern   *sparse.Matrix
 	diagSlots []int
+
+	// colorClasses partitions the device indices into write-conflict-free
+	// classes (see colored.go); nil when Build could not produce a coloring
+	// (a device probe panicked) and the colored load path is unavailable.
+	colorClasses [][]int
+
+	// colPerm caches the fill-reducing column ordering of the Jacobian
+	// pattern. The pattern never changes after Build, so every workspace's
+	// solver shares one ordering instead of recomputing it — the ordering
+	// is by far the most allocation-heavy step of a full factorization.
+	colPermOnce sync.Once
+	colPerm     []int
 }
+
+// fillOrdering returns the shared fill-reducing ordering, computing it on
+// first use. Safe for concurrent callers.
+func (s *System) fillOrdering() []int {
+	s.colPermOnce.Do(func() {
+		s.colPerm = sparse.ComputeOrdering(s.pattern, sparse.OrderMinDegree)
+	})
+	return s.colPerm
+}
+
+// ColorClasses returns the conflict-free device classes computed at Build
+// time (nil when unavailable). The outer slice is indexed by color; do not
+// mutate.
+func (s *System) ColorClasses() [][]int { return s.colorClasses }
 
 // Workspace owns the mutable buffers one worker needs to assemble and solve
 // the circuit equations: a value clone of the Jacobian, the F/Q/B vectors,
@@ -219,17 +252,45 @@ type Workspace struct {
 	// layers operating on this workspace.
 	Faults *faults.Injector
 
+	// ForceParallelLoad makes the colored load spawn real worker goroutines
+	// even on a single-CPU host, where it would otherwise run the color
+	// classes serially (identical results, no spinning). Race tests use it to
+	// exercise the concurrent path regardless of GOMAXPROCS.
+	ForceParallelLoad bool
+
 	loadWorkers int
+	loadMode    LoadMode
 	shards      []*shard
+	evalCtx     EvalCtx   // pooled context for the serial load path
+	wctx        []EvalCtx // pooled per-worker contexts for the colored path
+	colorBar    spinBarrier
+	iterSave    []float64 // pooled copy of the Newton iterate (bypass guard)
+}
+
+// SaveIterate stashes a copy of the iterate in a pooled workspace buffer.
+// The Newton factorization-bypass guard uses it to rewind a quasi-Newton
+// step and redo it against a fresh factorization before accepting.
+func (ws *Workspace) SaveIterate(x []float64) {
+	if ws.iterSave == nil {
+		ws.iterSave = make([]float64, ws.Sys.N)
+	}
+	copy(ws.iterSave, x)
+}
+
+// RestoreIterate copies the last SaveIterate snapshot back into x.
+func (ws *Workspace) RestoreIterate(x []float64) {
+	copy(x, ws.iterSave)
 }
 
 // NewWorkspace allocates a workspace (one per concurrent worker).
 func (s *System) NewWorkspace() *Workspace {
 	m := s.pattern.Clone()
+	sol := sparse.NewSolver(m, sparse.OrderMinDegree)
+	sol.ColPerm = s.fillOrdering()
 	return &Workspace{
 		Sys:    s,
 		M:      m,
-		Solver: sparse.NewSolver(m, sparse.OrderMinDegree),
+		Solver: sol,
 		F:      make([]float64, s.N),
 		Q:      make([]float64, s.N),
 		B:      make([]float64, s.N),
@@ -262,7 +323,11 @@ type LoadParams struct {
 // vectors at iterate x.
 func (ws *Workspace) Load(x []float64, p LoadParams) {
 	if ws.loadWorkers > 1 {
-		ws.loadParallel(x, p)
+		if ws.useColored() {
+			ws.loadColored(x, p)
+		} else {
+			ws.loadParallel(x, p)
+		}
 		return
 	}
 	start := time.Now()
@@ -277,7 +342,8 @@ func (ws *Workspace) Load(x []float64, p LoadParams) {
 		ws.Q[i] = 0
 		ws.B[i] = 0
 	}
-	ctx := EvalCtx{
+	ctx := &ws.evalCtx
+	*ctx = EvalCtx{
 		X:         x,
 		T:         p.Time,
 		Alpha0:    p.Alpha0,
@@ -293,7 +359,7 @@ func (ws *Workspace) Load(x []float64, p LoadParams) {
 		B:         ws.B,
 	}
 	for _, d := range ws.Sys.Circuit.devices {
-		d.Eval(&ctx)
+		d.Eval(ctx)
 	}
 	ws.Limited = ctx.Limited
 	if p.NodeGmin > 0 {
@@ -348,7 +414,8 @@ func (ws *Workspace) LoadSplit(x []float64, p LoadParams) {
 		ws.Q[i] = 0
 		ws.B[i] = 0
 	}
-	ctx := EvalCtx{
+	ctx := &ws.evalCtx
+	*ctx = EvalCtx{
 		X:         x,
 		T:         p.Time,
 		Alpha0:    0,
@@ -364,7 +431,7 @@ func (ws *Workspace) LoadSplit(x []float64, p LoadParams) {
 		B:         ws.B,
 	}
 	for _, d := range ws.Sys.Circuit.devices {
-		d.Eval(&ctx)
+		d.Eval(ctx)
 	}
 	ws.Limited = ctx.Limited
 	if p.NodeGmin > 0 {
@@ -429,6 +496,12 @@ type EvalCtx struct {
 	Q  []float64
 	B  []float64
 
+	// rec is non-nil only during the Build-time coloring probe; it records
+	// every F/Q/B row a device writes so rows that were never named in
+	// Reserve (current sources stamp B without reserving Jacobian slots)
+	// still enter the device's conflict footprint.
+	rec *probeRecorder
+
 	// Limited is set by devices that clamp a controlling voltage (for
 	// example pn-junction limiting); it blocks convergence this iteration.
 	Limited bool
@@ -467,6 +540,9 @@ func (e *EvalCtx) AddJQ(slot int, v float64) {
 // AddF accumulates a static current into row i. Ground rows are discarded.
 func (e *EvalCtx) AddF(i int, v float64) {
 	if i != Ground {
+		if e.rec != nil {
+			e.rec.note(i)
+		}
 		e.F[i] += v
 	}
 }
@@ -474,6 +550,9 @@ func (e *EvalCtx) AddF(i int, v float64) {
 // AddQ accumulates a charge/flux into row i.
 func (e *EvalCtx) AddQ(i int, v float64) {
 	if i != Ground {
+		if e.rec != nil {
+			e.rec.note(i)
+		}
 		e.Q[i] += v
 	}
 }
@@ -481,6 +560,9 @@ func (e *EvalCtx) AddQ(i int, v float64) {
 // AddB accumulates a source term into row i, scaled by SrcScale.
 func (e *EvalCtx) AddB(i int, v float64) {
 	if i != Ground {
+		if e.rec != nil {
+			e.rec.note(i)
+		}
 		e.B[i] += e.SrcScale * v
 	}
 }

@@ -79,15 +79,21 @@ type History struct {
 }
 
 // Add appends a point (which must be later than the current last point) and
-// trims the window to HistoryDepth.
-func (h *History) Add(p *Point) {
+// trims the window to HistoryDepth. It returns the evicted point, or nil
+// when nothing fell out of the window. Only an owner that knows no clone or
+// other reference shares the point may recycle it (the serial engine does;
+// the pipeline engines, whose histories are cloned across workers, must not).
+func (h *History) Add(p *Point) *Point {
 	if n := len(h.pts); n > 0 && p.T <= h.pts[n-1].T {
 		panic(fmt.Sprintf("integrate: History.Add out of order: %g after %g", p.T, h.pts[n-1].T))
 	}
 	h.pts = append(h.pts, p)
 	if len(h.pts) > HistoryDepth {
+		ev := h.pts[0]
 		h.pts = h.pts[len(h.pts)-HistoryDepth:]
+		return ev
 	}
+	return nil
 }
 
 // Len returns the number of stored points.
@@ -108,12 +114,17 @@ func (h *History) Last() *Point {
 // copy may be appended to freely (engines append candidate points for LTE
 // checks) without aliasing the history's backing array.
 func (h *History) Tail(k int) []*Point {
+	return h.AppendTail(nil, k)
+}
+
+// AppendTail appends up to the k most recent points (oldest first) to dst
+// and returns the extended slice — Tail for allocation-free inner loops that
+// reuse a scratch buffer across calls.
+func (h *History) AppendTail(dst []*Point, k int) []*Point {
 	if k > len(h.pts) {
 		k = len(h.pts)
 	}
-	out := make([]*Point, k)
-	copy(out, h.pts[len(h.pts)-k:])
-	return out
+	return append(dst, h.pts[len(h.pts)-k:]...)
 }
 
 // SpacedTail returns up to k recent points (oldest first) whose pairwise
@@ -124,18 +135,25 @@ func (h *History) Tail(k int) []*Point {
 // pipelining points; the clustered spacing still enters the LTE error
 // *coefficient*, which is where the WavePipe gain lives.
 func (h *History) SpacedTail(k int, minSep float64) []*Point {
-	out := make([]*Point, 0, k)
-	for i := len(h.pts) - 1; i >= 0 && len(out) < k; i-- {
+	return h.AppendSpacedTail(make([]*Point, 0, k), k, minSep)
+}
+
+// AppendSpacedTail appends up to k spaced recent points (oldest first, see
+// SpacedTail) to dst and returns the extended slice — the allocation-free
+// variant for callers that reuse a scratch buffer across LTE checks.
+func (h *History) AppendSpacedTail(dst []*Point, k int, minSep float64) []*Point {
+	start := len(dst)
+	for i := len(h.pts) - 1; i >= 0 && len(dst)-start < k; i-- {
 		p := h.pts[i]
-		if len(out) == 0 || out[len(out)-1].T-p.T >= minSep {
-			out = append(out, p)
+		if len(dst) == start || dst[len(dst)-1].T-p.T >= minSep {
+			dst = append(dst, p)
 		}
 	}
-	// Reverse to oldest-first.
-	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
-		out[i], out[j] = out[j], out[i]
+	// Reverse the appended segment to oldest-first.
+	for i, j := start, len(dst)-1; i < j; i, j = i+1, j-1 {
+		dst[i], dst[j] = dst[j], dst[i]
 	}
-	return out
+	return dst
 }
 
 // Clone returns a history sharing the (immutable) points. Workers clone the
@@ -147,11 +165,16 @@ func (h *History) Clone() *History {
 }
 
 // Truncate keeps only the most recent point (used after waveform
-// breakpoints, where derivative history is invalid).
-func (h *History) Truncate() {
-	if len(h.pts) > 1 {
-		h.pts = h.pts[len(h.pts)-1:]
+// breakpoints, where derivative history is invalid). It returns a view of
+// the dropped points, subject to the same recycling rule as Add's eviction:
+// only a sole owner may reuse them.
+func (h *History) Truncate() []*Point {
+	if len(h.pts) <= 1 {
+		return nil
 	}
+	dropped := h.pts[:len(h.pts)-1]
+	h.pts = h.pts[len(h.pts)-1:]
+	return dropped
 }
 
 // Coeffs holds the discretization at one new time point.
@@ -251,25 +274,48 @@ func DefaultControl(tstop float64) Control {
 	}
 }
 
+// LTEScratch pools the small per-call vectors of DerivNorm/CheckLTE so the
+// steady-state accept loop allocates nothing. The zero value is ready to
+// use; one scratch serves one goroutine.
+type LTEScratch struct {
+	ts, ys, dd []float64
+}
+
+func (s *LTEScratch) ensure(n int) {
+	if cap(s.ts) < n {
+		s.ts = make([]float64, n)
+		s.ys = make([]float64, n)
+		s.dd = make([]float64, n)
+	}
+	s.ts, s.ys, s.dd = s.ts[:n], s.ys[:n], s.dd[:n]
+}
+
 // DerivNorm estimates the weighted norm of the (order+1)-th solution
 // derivative from the trailing points (the candidate point included, last).
 // The result has units such that ErrorCoefficient(...)·DerivNorm is the
 // dimensionless weighted LTE. When not enough points exist, it returns 0
 // (the step is accepted — matching SPICE's behaviour on startup).
 func DerivNorm(pts []*Point, order int, tol num.Tolerances) float64 {
+	var s LTEScratch
+	return DerivNormWith(pts, order, tol, &s)
+}
+
+// DerivNormWith is DerivNorm with caller-pooled scratch.
+func DerivNormWith(pts []*Point, order int, tol num.Tolerances, s *LTEScratch) float64 {
 	k := order + 1 // derivative order to estimate
 	if len(pts) < k+1 {
 		return 0
 	}
 	pts = pts[len(pts)-(k+1):]
-	ts := make([]float64, k+1)
+	s.ensure(k + 1)
+	ts := s.ts
 	for i, p := range pts {
 		ts[i] = p.T
 	}
 	ref := pts[len(pts)-1].X
 	nUnk := len(ref)
-	ys := make([]float64, k+1)
-	dd := make([]float64, k+1)
+	ys := s.ys
+	dd := s.dd
 	fact := 1.0
 	for i := 2; i <= k; i++ {
 		fact *= float64(i)
@@ -292,7 +338,13 @@ func DerivNorm(pts []*Point, order int, tol num.Tolerances) float64 {
 // step is acceptable when the result is <= 1. pts must end with the
 // candidate point; h1 is the trailing history spacing before the step.
 func (c Control) CheckLTE(m Method, order int, pts []*Point, h0, h1 float64) float64 {
-	d := DerivNorm(pts, order, c.Tol)
+	var s LTEScratch
+	return c.CheckLTEWith(m, order, pts, h0, h1, &s)
+}
+
+// CheckLTEWith is CheckLTE with caller-pooled scratch.
+func (c Control) CheckLTEWith(m Method, order int, pts []*Point, h0, h1 float64, s *LTEScratch) float64 {
+	d := DerivNormWith(pts, order, c.Tol, s)
 	if d == 0 {
 		return 0
 	}

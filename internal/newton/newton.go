@@ -57,13 +57,25 @@ func Solve(ws *circuit.Workspace, x []float64, p circuit.LoadParams, qhist []flo
 	if cls, ok := ws.Faults.At(faults.SiteNewton, p.Time); ok && cls == faults.NoConvergence {
 		return res, faults.Wrap("newton", p.Time, -1, fmt.Errorf("%w (injected)", ErrNoConvergence))
 	}
+	// forceFresh suppresses factorization bypass for one iteration: set after
+	// a bypassed (stale-LU, quasi-Newton) step failed the convergence test,
+	// so a wildly off LU cannot stall the whole iteration budget.
+	forceFresh := false
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		p.FirstIter = iter == 0
 		ws.Load(x, p)
 		limited := ws.Limited
 		ws.Residual(p.Alpha0, qhist, r)
-		if err := factorAndSolve(ws, p.Time, r, dx); err != nil {
+		if err := factorAndSolve(ws, p.Time, r, dx, forceFresh); err != nil {
 			return res, faults.Wrap("newton", p.Time, -1, fmt.Errorf("iteration %d: %w", iter, err))
+		}
+		forceFresh = false
+		// A bypassed factorization makes this a quasi-Newton step: keep the
+		// pre-update iterate around so the convergence guard below can redo
+		// the step exactly.
+		bypassed := ws.Solver.LastBypassed
+		if bypassed {
+			ws.SaveIterate(x)
 		}
 		// x_{k+1} = x_k − J⁻¹·R, with optional per-component damping.
 		maxRatio := applyUpdate(x, dx, opts)
@@ -84,6 +96,29 @@ func Solve(ws *circuit.Workspace, x []float64, p circuit.LoadParams, qhist []flo
 		// active device limiting may pass the update test while grossly
 		// violating the true residual) is the limiting flag.
 		if maxRatio <= 1 && !limited {
+			if bypassed {
+				// Never accept an iterate produced under factorization
+				// bypass: rewind to the pre-update iterate (whose assembly
+				// and residual are still in the workspace), refactorize for
+				// real, and take the exact Newton step instead.
+				ws.RestoreIterate(x)
+				if err := ws.Solver.FactorizeFresh(); err != nil {
+					return res, faults.Wrap("newton", p.Time, -1, fmt.Errorf("iteration %d: %w", iter, err))
+				}
+				if err := ws.Solver.Solve(r, dx); err != nil {
+					return res, faults.Wrap("newton", p.Time, -1, fmt.Errorf("iteration %d: %w", iter, err))
+				}
+				maxRatio = applyUpdate(x, dx, opts)
+				if i := num.NonFiniteIndex(x); i >= 0 {
+					return res, faults.Wrap("newton", p.Time, i,
+						fmt.Errorf("%w in iterate after %d iterations", faults.ErrNonFinite, res.Iters))
+				}
+				if maxRatio > 1 {
+					// The exact step disagreed with the bypassed one by more
+					// than the tolerance band; keep iterating from it.
+					continue
+				}
+			}
 			if opts.ResidualTol > 0 {
 				ws.Load(x, p)
 				ws.Residual(p.Alpha0, qhist, r)
@@ -94,16 +129,28 @@ func Solve(ws *circuit.Workspace, x []float64, p circuit.LoadParams, qhist []flo
 			res.Converged = true
 			return res, nil
 		}
+		// The step missed the convergence band. If it was computed from a
+		// reused (bypassed) factorization the quasi-Newton direction may be
+		// arbitrarily wrong — a stale LU can even diverge on a linear
+		// circuit — so insist on a real factorization next iteration.
+		// Genuine Newton steps that miss the band keep iterating normally.
+		forceFresh = bypassed
 	}
 	return res, faults.Wrap("newton", p.Time, -1,
 		fmt.Errorf("%w after %d iterations", ErrNoConvergence, opts.MaxIter))
 }
 
-func factorAndSolve(ws *circuit.Workspace, time float64, r, dx []float64) error {
+func factorAndSolve(ws *circuit.Workspace, time float64, r, dx []float64, forceFresh bool) error {
 	if cls, ok := ws.Faults.At(faults.SiteFactor, time); ok && cls == faults.Singular {
 		return fmt.Errorf("%w (injected)", faults.ErrSingular)
 	}
-	if err := ws.Solver.Factorize(); err != nil {
+	var err error
+	if forceFresh {
+		err = ws.Solver.FactorizeFresh()
+	} else {
+		err = ws.Solver.Factorize()
+	}
+	if err != nil {
 		return err
 	}
 	return ws.Solver.Solve(r, dx)

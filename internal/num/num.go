@@ -160,6 +160,13 @@ func PredictAt(ts, ys []float64, t float64) float64 {
 // (hist[j] is the full solution vector at time ts[j]) to time t, writing the
 // result into dst. The number of history vectors sets the polynomial order.
 func PredictVectorAt(ts []float64, hist [][]float64, t float64, dst []float64) {
+	PredictVectorAtWith(ts, hist, t, dst, nil, nil)
+}
+
+// PredictVectorAtWith is PredictVectorAt with caller-pooled scratch vectors
+// ys and c of length >= len(ts) (nil allocates fresh ones), for
+// allocation-free prediction in the point-solve hot path.
+func PredictVectorAtWith(ts []float64, hist [][]float64, t float64, dst, ys, c []float64) {
 	n := len(ts)
 	if n == 0 {
 		for i := range dst {
@@ -172,8 +179,11 @@ func PredictVectorAt(ts []float64, hist [][]float64, t float64, dst []float64) {
 		return
 	}
 	// Per-component Newton interpolation with shared scratch buffers.
-	ys := make([]float64, n)
-	c := make([]float64, n)
+	if len(ys) < n || len(c) < n {
+		ys = make([]float64, n)
+		c = make([]float64, n)
+	}
+	ys, c = ys[:n], c[:n]
 	for i := range dst {
 		for j := 0; j < n; j++ {
 			ys[j] = hist[j][i]

@@ -72,8 +72,9 @@ type ComplexLU struct {
 	ux []complex128
 	ud []complex128
 
-	pivTol float64
-	work   []complex128
+	pivTol    float64
+	work      []complex128
+	solveWork []complex128 // pooled Solve scratch; one goroutine per LU
 }
 
 // FactorizeComplex computes a fresh complex LU factorization.
@@ -268,9 +269,13 @@ func (f *ComplexLU) Refactor(m *ComplexMatrix) error {
 	return nil
 }
 
-// Solve computes x with A·x = b.
+// Solve computes x with A·x = b. The scratch vector is pooled on the
+// receiver, so repeated solves (one per AC frequency point) allocate nothing.
 func (f *ComplexLU) Solve(b, x []complex128) {
-	w := make([]complex128, f.n)
+	if f.solveWork == nil {
+		f.solveWork = make([]complex128, f.n)
+	}
+	w := f.solveWork
 	for k := 0; k < f.n; k++ {
 		w[k] = b[f.rowPerm[k]]
 	}

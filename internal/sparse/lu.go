@@ -43,20 +43,31 @@ type LU struct {
 	ux []float64
 	ud []float64 // diagonal of U
 
-	pivTol float64
-	work   []float64 // Refactor workspace (an LU serves one goroutine)
+	pivTol    float64
+	work      []float64 // Refactor workspace (an LU serves one goroutine)
+	solveWork []float64 // Solve workspace; separate from work, which Refactor
+	// requires to stay zeroed between columns
 }
 
 // Factorize computes a fresh LU factorization of m using the given column
 // ordering and threshold partial pivoting.
 func Factorize(m *Matrix, ordering Ordering, pivTol float64) (*LU, error) {
+	return FactorizeWithPerm(m, ComputeOrdering(m, ordering), pivTol)
+}
+
+// FactorizeWithPerm is Factorize with a caller-supplied column permutation
+// (perm[k] = original column eliminated at step k). Callers that factorize
+// many matrices sharing one sparsity pattern compute the fill-reducing
+// ordering once and pass it here; the permutation is copied, so one slice
+// may back any number of concurrent factorizations.
+func FactorizeWithPerm(m *Matrix, perm []int, pivTol float64) (*LU, error) {
 	if pivTol <= 0 || pivTol > 1 {
 		pivTol = DefaultPivotTolerance
 	}
 	n := m.N()
 	f := &LU{
 		n:       n,
-		colPerm: ComputeOrdering(m, ordering),
+		colPerm: append([]int(nil), perm...),
 		rowPerm: make([]int, n),
 		rowInv:  make([]int, n),
 		lp:      make([]int, n+1),
@@ -282,9 +293,13 @@ func (f *LU) Refactor(m *Matrix) error {
 }
 
 // Solve computes x with A·x = b using the factorization. b and x may alias.
+// The scratch vector is pooled on the receiver, so like Refactor this is
+// single-goroutine per LU; concurrent solves must use SolveWith.
 func (f *LU) Solve(b, x []float64) {
-	w := make([]float64, f.n)
-	f.SolveWith(b, x, w)
+	if f.solveWork == nil {
+		f.solveWork = make([]float64, f.n)
+	}
+	f.SolveWith(b, x, f.solveWork)
 }
 
 // SolveWith is Solve with a caller-provided scratch vector of length N,
@@ -336,18 +351,38 @@ type Solver struct {
 	M        *Matrix
 	Ordering Ordering
 	PivTol   float64
+	// ColPerm, when non-nil, is a precomputed column ordering used instead
+	// of computing Ordering on every full factorization. Systems that hand
+	// out many solvers over one sparsity pattern share a single ordering
+	// this way (the ordering depends only on the pattern). Read-only here.
+	ColPerm []int
 	// Refine enables one step of iterative refinement per solve
 	// (x += A⁻¹·(b − A·x)): roughly halves the effective backward error on
 	// ill-conditioned MNA matrices for one extra matvec + triangular solve.
 	Refine bool
+	// BypassTol enables SPICE-style factorization bypass: when every matrix
+	// value has changed by at most this relative amount since the values that
+	// produced the current factorization, Factorize keeps the previous LU and
+	// the solve becomes a quasi-Newton step. 0 disables bypass.
+	BypassTol float64
 
 	lu      *LU
 	scratch []float64
 	resid   []float64
+	// prevValues snapshots M.Values as of the last real (re)factorization;
+	// bypass drift is measured against it, not the previous iteration, so
+	// slow cumulative change still forces a refactorization eventually.
+	prevValues []float64
 
 	// Stats.
 	FullFactorizations int
 	Refactorizations   int
+	// BypassedFactorizations counts Factorize calls answered by reusing the
+	// previous LU. LastBypassed reports whether the most recent Factorize was
+	// one of them — the Newton guard uses it to ensure an accepted iterate
+	// always rests on a fresh factorization.
+	BypassedFactorizations int
+	LastBypassed           bool
 }
 
 // NewSolver returns a Solver for m using the given ordering.
@@ -356,22 +391,82 @@ func NewSolver(m *Matrix, o Ordering) *Solver {
 }
 
 // Factorize (re)factorizes the current values of the matrix, preferring the
-// numeric-only refactorization path.
+// numeric-only refactorization path. With BypassTol > 0 and values within
+// tolerance of the ones that produced the current factorization, the call is
+// a no-op that keeps the previous LU (LastBypassed reports this).
 func (s *Solver) Factorize() error {
+	if s.lu != nil && s.BypassTol > 0 && s.prevValues != nil &&
+		maxRelChange(s.prevValues, s.M.Values) <= s.BypassTol {
+		s.BypassedFactorizations++
+		s.LastBypassed = true
+		return nil
+	}
+	return s.FactorizeFresh()
+}
+
+// FactorizeFresh is Factorize without the bypass shortcut: the matrix values
+// are always run through Refactor or a full Factorize. Callers that must
+// leave an exact factorization behind (the final Newton guard, warm-start
+// handoff) use this directly.
+func (s *Solver) FactorizeFresh() error {
+	s.LastBypassed = false
 	if s.lu != nil {
 		if err := s.lu.Refactor(s.M); err == nil {
 			s.Refactorizations++
+			s.snapshotValues()
 			return nil
 		}
 		// Fall through to a full factorization with fresh pivoting.
 	}
-	lu, err := Factorize(s.M, s.Ordering, s.PivTol)
+	var lu *LU
+	var err error
+	if s.ColPerm != nil {
+		lu, err = FactorizeWithPerm(s.M, s.ColPerm, s.PivTol)
+	} else {
+		lu, err = Factorize(s.M, s.Ordering, s.PivTol)
+	}
 	if err != nil {
 		return err
 	}
 	s.lu = lu
 	s.FullFactorizations++
+	s.snapshotValues()
 	return nil
+}
+
+// snapshotValues records the matrix values backing the current factorization
+// so later Factorize calls can measure bypass drift against them.
+func (s *Solver) snapshotValues() {
+	if s.BypassTol <= 0 {
+		return
+	}
+	if s.prevValues == nil {
+		s.prevValues = make([]float64, len(s.M.Values))
+	}
+	copy(s.prevValues, s.M.Values)
+}
+
+// maxRelChange returns the maximum elementwise relative change between old
+// and new, with the relative base max(|old|, |new|). A value appearing where
+// there was an exact zero counts as an infinite change.
+func maxRelChange(old, new []float64) float64 {
+	maxRel := 0.0
+	for i, nv := range new {
+		ov := old[i]
+		d := math.Abs(nv - ov)
+		if d == 0 {
+			continue
+		}
+		base := math.Abs(ov)
+		if a := math.Abs(nv); a > base {
+			base = a
+		}
+		// base > 0 here since d > 0 implies at least one operand is nonzero.
+		if rel := d / base; rel > maxRel {
+			maxRel = rel
+		}
+	}
+	return maxRel
 }
 
 // Solve computes x with A·x = b for the most recent factorization.

@@ -1,0 +1,110 @@
+package transient
+
+import (
+	"testing"
+
+	"wavepipe/internal/circuit"
+	"wavepipe/internal/device"
+	"wavepipe/internal/integrate"
+)
+
+// rectifierCircuit builds the half-wave rectifier of TestDiodeRectifier: a
+// nonlinear circuit whose Jacobian changes rapidly near diode turn-on and
+// slowly elsewhere — the workload SPICE bypass was invented for.
+func rectifierCircuit(t *testing.T) *circuit.System {
+	t.Helper()
+	ckt := circuit.New("rect")
+	in := ckt.Node("in")
+	out := ckt.Node("out")
+	ckt.Add(device.NewVSource("V1", in, circuit.Ground, device.Sin{Amplitude: 5, Freq: 1e3}))
+	ckt.Add(device.NewDiode("D1", in, out, device.DefaultDiodeModel(), 1))
+	ckt.Add(device.NewResistor("RL", out, circuit.Ground, 10e3))
+	ckt.Add(device.NewCapacitor("CL", out, circuit.Ground, 1e-6))
+	sys, err := ckt.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestBypassGuardRefactorizesAcceptedIterate drives a point solver with an
+// absurdly permissive bypass tolerance — every mid-iteration factorization
+// wants to be skipped — and checks the convergence guard: the iterate a
+// solve actually returns must always have used a fresh factorization
+// (Solver.LastBypassed false after every successful SolveAt), while bypasses
+// still happen inside the iterations.
+func TestBypassGuardRefactorizesAcceptedIterate(t *testing.T) {
+	sys, _ := rcCircuit(1e3, 1e-6)
+	opts := Options{TStop: 1e-3, BypassTol: 1e9}.WithDefaults()
+	ps := NewPointSolver(sys, opts.Method, opts.Newton, opts.Gmin)
+	ps.WS.Solver.BypassTol = opts.BypassTol
+
+	p0, err := InitialPoint(sys, ps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := &integrate.History{}
+	hist.Add(p0)
+	tNow := p0.T
+	const h = 2e-5
+	for i := 0; i < 25; i++ {
+		tNow += h
+		pt, _, err := ps.SolveAt(hist, tNow, nil)
+		if err != nil {
+			t.Fatalf("solve %d at t=%g: %v", i, tNow, err)
+		}
+		if ps.WS.Solver.LastBypassed {
+			t.Fatalf("solve %d: accepted iterate used a bypassed factorization", i)
+		}
+		hist.Add(pt)
+	}
+	if ps.WS.Solver.BypassedFactorizations == 0 {
+		t.Fatal("huge bypass tolerance never bypassed a factorization")
+	}
+	ps.HarvestSolverStats()
+	if ps.Stats.BypassedFactorizations != ps.WS.Solver.BypassedFactorizations {
+		t.Fatal("harvested bypass counter does not match the solver's")
+	}
+}
+
+// TestBypassDisabledByDefault: with BypassTol zero the solver must factorize
+// on every Newton iteration and count no bypasses.
+func TestBypassDisabledByDefault(t *testing.T) {
+	sys, _ := rcCircuit(1e3, 1e-6)
+	res, err := Run(sys, Options{TStop: 2e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.BypassedFactorizations != 0 {
+		t.Fatalf("bypass off, yet %d bypasses counted", res.Stats.BypassedFactorizations)
+	}
+	if res.Stats.FullFactorizations == 0 && res.Stats.Refactorizations == 0 {
+		t.Fatal("factorization counters never filled")
+	}
+}
+
+// TestBypassRunMatchesReference: on the nonlinear half-wave rectifier of
+// TestDiodeRectifier, a bypassed run must track the exact run within the
+// engine's own LTE-scale accuracy while actually exercising the bypass.
+func TestBypassRunMatchesReference(t *testing.T) {
+	makeRes := func(bypassTol float64) *Result {
+		sys := rectifierCircuit(t)
+		res, err := Run(sys, Options{TStop: 2e-3, BypassTol: bypassTol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := makeRes(0)
+	res := makeRes(1e-3)
+	if res.Stats.BypassedFactorizations == 0 {
+		t.Fatal("bypass tolerance 1e-3 never triggered on the rectifier")
+	}
+	dev, err := waveformCompare(res, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev > 0.02 {
+		t.Fatalf("bypassed run deviates by %g of signal range", dev)
+	}
+}

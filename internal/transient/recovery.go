@@ -157,6 +157,7 @@ func (ps *PointSolver) gminRampAt(hist *integrate.History, tNew float64) (*integ
 			return nil, co, fmt.Errorf("gmin ramp at g=%.0e: %w", g, err)
 		}
 		copy(guess, pt.X)
+		ps.PutPoint(pt) // rung points are never published
 		g /= 10
 	}
 	return ps.solveAtWith(hist, tNew, guess, ps.Newton, 0)

@@ -60,6 +60,14 @@ type Options struct {
 	// LoadWorkers > 1 enables fine-grained parallel device evaluation
 	// inside every assembly pass (the conventional parallel-SPICE baseline).
 	LoadWorkers int
+	// LoadMode selects the parallel assembly strategy when LoadWorkers > 1:
+	// automatic, shard-and-reduce, or colored direct stamping.
+	LoadMode circuit.LoadMode
+	// BypassTol > 0 enables Newton factorization bypass: when no Jacobian
+	// value moved by more than this relative tolerance since the last real
+	// factorization, the LU is reused (the accepted final iterate of every
+	// point is still guaranteed a fresh factorization). 0 disables.
+	BypassTol float64
 	// Faults, when non-nil, is a deterministic fault-injection harness shared
 	// by every solver layer of the run (tests only; nil in production).
 	Faults *faults.Injector
@@ -109,6 +117,12 @@ type Stats struct {
 	// of degradation (not counting post-breakpoint warmup).
 	WorkerPanics   int
 	DegradedStages int
+	// Factorization accounting (filled from the sparse solver counters):
+	// bypassed calls reused the previous LU outright, refactorizations took
+	// the numeric-only path, full factorizations re-pivoted from scratch.
+	BypassedFactorizations int
+	Refactorizations       int
+	FullFactorizations     int
 	// CriticalNanos is the modeled multi-core wall-clock time: per pipeline
 	// stage, the slowest concurrent worker's measured compute time. For the
 	// serial engine it equals the sum of all point-solve times. This is the
@@ -130,6 +144,9 @@ func (s *Stats) Add(other Stats) {
 	s.Recoveries += other.Recoveries
 	s.WorkerPanics += other.WorkerPanics
 	s.DegradedStages += other.DegradedStages
+	s.BypassedFactorizations += other.BypassedFactorizations
+	s.Refactorizations += other.Refactorizations
+	s.FullFactorizations += other.FullFactorizations
 	s.CriticalNanos += other.CriticalNanos
 }
 
@@ -168,6 +185,29 @@ type PointSolver struct {
 	warmTime   float64
 	warmAlpha0 float64
 	warmValid  bool
+
+	// Pooled per-point scratch: steady-state transient iteration allocates
+	// nothing. tailBuf/predTs/predXs/predYs/predC serve the polynomial
+	// predictor; warmBuf is WarmStart's returned iterate (consumed by the
+	// matching ResumeAt before the next WarmStart on this solver); LTE holds
+	// the divided-difference scratch of the engines' acceptance checks.
+	tailBuf []*integrate.Point
+	predTs  []float64
+	predXs  [][]float64
+	predYs  []float64
+	predC   []float64
+	warmBuf []float64
+	LTE     integrate.LTEScratch
+
+	// ptPool recycles Point buffers (X/Q/Qdot) through takePoint/PutPoint.
+	// predRing backs PredictPoint's speculative full-point predictions: a
+	// fixed rotation of four points, enough that the at-most-two predictions
+	// of one pipeline stage never alias the previous stage's.
+	ptPool   []*integrate.Point
+	predRing [4]*integrate.Point
+	predNext int
+	predQs   [][]float64
+	predQds  [][]float64
 }
 
 // NewPointSolver allocates a solver on a fresh workspace of sys.
@@ -198,6 +238,106 @@ func Predict(hist *integrate.History, t float64, dst []float64) {
 	num.PredictVectorAt(ts, xs, t, dst)
 }
 
+// predict is Predict running entirely on the solver's pooled scratch.
+func (ps *PointSolver) predict(hist *integrate.History, t float64, dst []float64) {
+	ps.tailBuf = hist.AppendTail(ps.tailBuf[:0], 3)
+	pts := ps.tailBuf
+	k := len(pts)
+	if cap(ps.predTs) < k {
+		ps.predTs = make([]float64, k)
+		ps.predXs = make([][]float64, k)
+		ps.predYs = make([]float64, k)
+		ps.predC = make([]float64, k)
+	}
+	ts, xs := ps.predTs[:k], ps.predXs[:k]
+	for i, p := range pts {
+		ts[i] = p.T
+		xs[i] = p.X
+	}
+	num.PredictVectorAtWith(ts, xs, t, dst, ps.predYs[:k], ps.predC[:k])
+}
+
+// takePoint pops a recycled point (or allocates one) with X/Q/Qdot buffers
+// of the system size.
+func (ps *PointSolver) takePoint() *integrate.Point {
+	if k := len(ps.ptPool); k > 0 {
+		pt := ps.ptPool[k-1]
+		ps.ptPool = ps.ptPool[:k-1]
+		return pt
+	}
+	n := ps.WS.Sys.N
+	return &integrate.Point{
+		X:    make([]float64, n),
+		Q:    make([]float64, n),
+		Qdot: make([]float64, n),
+	}
+}
+
+// PutPoint hands a point's buffers back to the solver pool. The caller must
+// be the point's sole owner: nothing published to a shared history, waveform
+// or another worker may be recycled. Nil and foreign-sized points are
+// ignored.
+func (ps *PointSolver) PutPoint(pt *integrate.Point) {
+	if pt == nil || len(pt.X) != ps.WS.Sys.N || len(pt.Q) != ps.WS.Sys.N || len(pt.Qdot) != ps.WS.Sys.N {
+		return
+	}
+	ps.ptPool = append(ps.ptPool, pt)
+}
+
+// PredictPoint extrapolates a full (X, Q, Qdot) point from history — the
+// speculative stand-in for a predecessor that has not converged yet. The
+// returned point comes from a fixed four-slot rotation: it stays valid for
+// the duration of the pipeline stage that requested it and is reused two
+// PredictPoint calls later.
+func (ps *PointSolver) PredictPoint(hist *integrate.History, t float64) *integrate.Point {
+	pt := ps.predRing[ps.predNext]
+	ps.predNext = (ps.predNext + 1) % len(ps.predRing)
+	n := ps.WS.Sys.N
+	if pt == nil || len(pt.X) != n {
+		pt = &integrate.Point{
+			X:    make([]float64, n),
+			Q:    make([]float64, n),
+			Qdot: make([]float64, n),
+		}
+		ps.predRing[(ps.predNext+len(ps.predRing)-1)%len(ps.predRing)] = pt
+	}
+	pt.T = t
+	ps.tailBuf = hist.AppendTail(ps.tailBuf[:0], 3)
+	pts := ps.tailBuf
+	k := len(pts)
+	if cap(ps.predTs) < k {
+		ps.predTs = make([]float64, k)
+		ps.predXs = make([][]float64, k)
+		ps.predYs = make([]float64, k)
+		ps.predC = make([]float64, k)
+	}
+	if cap(ps.predQs) < k {
+		ps.predQs = make([][]float64, k)
+		ps.predQds = make([][]float64, k)
+	}
+	ts, xs := ps.predTs[:k], ps.predXs[:k]
+	qs, qds := ps.predQs[:k], ps.predQds[:k]
+	for i, p := range pts {
+		ts[i] = p.T
+		xs[i] = p.X
+		qs[i] = p.Q
+		qds[i] = p.Qdot
+	}
+	ys, c := ps.predYs[:k], ps.predC[:k]
+	num.PredictVectorAtWith(ts, xs, t, pt.X, ys, c)
+	num.PredictVectorAtWith(ts, qs, t, pt.Q, ys, c)
+	num.PredictVectorAtWith(ts, qds, t, pt.Qdot, ys, c)
+	return pt
+}
+
+// HarvestSolverStats copies the workspace's cumulative sparse-solver
+// counters into Stats. Engines call it once per solver before merging stats.
+func (ps *PointSolver) HarvestSolverStats() {
+	ps.Stats.BypassedFactorizations = ps.WS.Solver.BypassedFactorizations
+	ps.Stats.Refactorizations = ps.WS.Solver.Refactorizations
+	ps.Stats.FullFactorizations = ps.WS.Solver.FullFactorizations
+}
+
 // SolveAt computes the converged solution at tNew using hist for the
 // integration formula. guess, when non-nil, seeds Newton (otherwise a
 // polynomial prediction from hist is used). It returns the new point and
@@ -209,17 +349,17 @@ func (ps *PointSolver) SolveAt(hist *integrate.History, tNew float64, guess []fl
 // solveAtWith is SolveAt with explicit Newton options and an optional
 // node-to-ground conductance (the recovery ladder's knobs).
 func (ps *PointSolver) solveAtWith(hist *integrate.History, tNew float64, guess []float64, nopts newton.Options, nodeGmin float64) (*integrate.Point, integrate.Coeffs, error) {
-	n := ps.WS.Sys.N
 	defer ps.model(time.Now(), ps.WS.LoadWallNanos, ps.WS.LoadCritNanos)
 	co, err := integrate.Compute(ps.Method, hist, tNew, ps.qhist)
 	if err != nil {
 		return nil, co, err
 	}
-	x := make([]float64, n)
+	pt := ps.takePoint()
+	x := pt.X
 	if guess != nil {
 		copy(x, guess)
 	} else {
-		Predict(hist, tNew, x)
+		ps.predict(hist, tNew, x)
 	}
 	p := circuit.LoadParams{Time: tNew, Alpha0: co.Alpha0, Gmin: ps.Gmin, SrcScale: 1, NodeGmin: nodeGmin}
 	ps.Stats.Solves++
@@ -227,9 +367,10 @@ func (ps *PointSolver) solveAtWith(hist *integrate.History, tNew float64, guess 
 	ps.Stats.NRIters += res.Iters
 	if err != nil {
 		ps.Stats.NRFailures++
+		ps.PutPoint(pt)
 		return nil, co, err
 	}
-	return ps.finishPoint(x, tNew, co), co, nil
+	return ps.finishPoint(pt, tNew, co), co, nil
 }
 
 // WarmStart runs up to maxIter Newton iterations at tNew against the given
@@ -237,15 +378,17 @@ func (ps *PointSolver) solveAtWith(hist *integrate.History, tNew float64, guess 
 // regardless of convergence. Forward pipelining uses it to pre-iterate on a
 // predicted history while the true predecessor point is still being solved.
 func (ps *PointSolver) WarmStart(hist *integrate.History, tNew float64, maxIter int) []float64 {
-	n := ps.WS.Sys.N
 	defer ps.model(time.Now(), ps.WS.LoadWallNanos, ps.WS.LoadCritNanos)
 	ps.warmValid = false
 	co, err := integrate.Compute(ps.Method, hist, tNew, ps.qhist)
 	if err != nil {
 		return nil
 	}
-	x := make([]float64, n)
-	Predict(hist, tNew, x)
+	if ps.warmBuf == nil {
+		ps.warmBuf = make([]float64, ps.WS.Sys.N)
+	}
+	x := ps.warmBuf
+	ps.predict(hist, tNew, x)
 	opts := ps.Newton
 	opts.MaxIter = maxIter
 	p := circuit.LoadParams{Time: tNew, Alpha0: co.Alpha0, Gmin: ps.Gmin, SrcScale: 1}
@@ -253,9 +396,11 @@ func (ps *PointSolver) WarmStart(hist *integrate.History, tNew float64, maxIter 
 	ps.Stats.NRIters += res.Iters
 	// Leave the workspace assembled and factorized exactly at x so ResumeAt
 	// can pick the speculative work up with only a residual rebuild. The
-	// device assembly is history-independent; only qhist will change.
+	// device assembly is history-independent; only qhist will change. The
+	// factorization must be a real one — ResumeSolve's first step assumes an
+	// exact LU at x — so the bypass shortcut is not allowed here.
 	ps.WS.Load(x, p)
-	if err := ps.WS.Solver.Factorize(); err != nil {
+	if err := ps.WS.Solver.FactorizeFresh(); err != nil {
 		return x
 	}
 	ps.warmTime = tNew
@@ -282,8 +427,8 @@ func (ps *PointSolver) ResumeAt(hist *integrate.History, tNew float64, warm []fl
 		return ps.SolveAt(hist, tNew, warm)
 	}
 	defer ps.model(time.Now(), ps.WS.LoadWallNanos, ps.WS.LoadCritNanos)
-	n := ps.WS.Sys.N
-	x := make([]float64, n)
+	pt := ps.takePoint()
+	x := pt.X
 	copy(x, warm)
 	p := circuit.LoadParams{Time: tNew, Alpha0: co.Alpha0, Gmin: ps.Gmin, SrcScale: 1}
 	ps.Stats.Solves++
@@ -291,9 +436,10 @@ func (ps *PointSolver) ResumeAt(hist *integrate.History, tNew float64, warm []fl
 	ps.Stats.NRIters += res.Iters
 	if err != nil {
 		ps.Stats.NRFailures++
+		ps.PutPoint(pt)
 		return nil, co, err
 	}
-	return ps.finishPoint(x, tNew, co), co, nil
+	return ps.finishPoint(pt, tNew, co), co, nil
 }
 
 // model records the modeled compute time of the finished call.
@@ -305,19 +451,15 @@ func (ps *PointSolver) model(start time.Time, loadWall0, loadCrit0 int64) {
 	ps.Stats.CriticalNanos += ps.LastNanos
 }
 
-// finishPoint assembles once more at the converged solution so the stored
-// charge vector is exactly Q(x), then derives Qdot from the discretization.
-func (ps *PointSolver) finishPoint(x []float64, tNew float64, co integrate.Coeffs) *integrate.Point {
+// finishPoint assembles once more at the converged solution pt.X so the
+// stored charge vector is exactly Q(x), then derives Qdot from the
+// discretization. pt comes from takePoint and is filled in place.
+func (ps *PointSolver) finishPoint(pt *integrate.Point, tNew float64, co integrate.Coeffs) *integrate.Point {
 	p := circuit.LoadParams{Time: tNew, Alpha0: co.Alpha0, Gmin: ps.Gmin, SrcScale: 1, NoLimit: true}
-	ps.WS.Load(x, p)
-	n := ps.WS.Sys.N
-	pt := &integrate.Point{
-		T:    tNew,
-		X:    x,
-		Q:    num.Copy(ps.WS.Q),
-		Qdot: make([]float64, n),
-	}
-	for i := 0; i < n; i++ {
+	ps.WS.Load(pt.X, p)
+	pt.T = tNew
+	copy(pt.Q, ps.WS.Q)
+	for i := range pt.Qdot {
 		pt.Qdot[i] = co.Alpha0*pt.Q[i] + ps.qhist[i]
 	}
 	return pt
@@ -437,11 +579,14 @@ func Run(sys *circuit.System, opts Options) (*Result, error) {
 	ctrl := opts.Control
 	ps := NewPointSolver(sys, opts.Method, opts.Newton, opts.Gmin)
 	ps.WS.Faults = opts.Faults
+	ps.WS.Solver.BypassTol = opts.BypassTol
 	if opts.LoadWorkers > 1 {
 		ps.WS.SetLoadWorkers(opts.LoadWorkers)
+		ps.WS.SetLoadMode(opts.LoadMode)
 	}
 	rl := &RecoveryLog{}
 	partial := func(w *waveform.Set, hist *integrate.History) *Result {
+		ps.HarvestSolverStats()
 		res := &Result{W: w, Stats: ps.Stats, Recovery: rl}
 		if last := hist.Last(); last != nil {
 			res.FinalX = num.Copy(last.X)
@@ -464,6 +609,7 @@ func Run(sys *circuit.System, opts Options) (*Result, error) {
 	t := 0.0
 	hUsed := 0.0
 	afterBreak := true // the t=0 point counts as a breakpoint start
+	var lteTail []*integrate.Point
 
 	for t < opts.TStop*(1-1e-12) {
 		if ps.Stats.Points >= opts.MaxPoints {
@@ -517,16 +663,19 @@ func Run(sys *circuit.System, opts Options) (*Result, error) {
 		// the point is accepted, as in SPICE.
 		norm := 0.0
 		if !opts.NoLTE {
-			pts := append(hist.Tail(co.Order+1), pt)
-			norm = ctrl.CheckLTE(ps.Method, co.Order, pts, co.H0, co.H1)
+			lteTail = append(hist.AppendTail(lteTail[:0], co.Order+1), pt)
+			norm = ctrl.CheckLTEWith(ps.Method, co.Order, lteTail, co.H0, co.H1, &ps.LTE)
 			if norm > 1 && co.H0 > ctrl.HMin*1.01 && !afterBreak {
 				ps.Stats.LTERejects++
 				h = ctrl.ShrinkOnReject(co.H0, norm, co.Order)
+				ps.PutPoint(pt)
 				continue
 			}
 		}
 
-		hist.Add(pt)
+		// The serial engine is the history's sole owner, so a point falling
+		// out of the bounded window can be recycled into the next solve.
+		ps.PutPoint(hist.Add(pt))
 		w.Append(pt.T, pt.X)
 		ps.Stats.Points++
 		t = pt.T
@@ -538,7 +687,9 @@ func Run(sys *circuit.System, opts Options) (*Result, error) {
 			// sized from the upcoming breakpoint gap (clamped by the last
 			// step), as SPICE does. LTE control resumes as soon as enough
 			// history accumulates.
-			hist.Truncate()
+			for _, dp := range hist.Truncate() {
+				ps.PutPoint(dp)
+			}
 			gap := opts.TStop - t
 			for _, bp := range bps[nextBp:] {
 				if bp > t*(1+1e-12) {
@@ -565,5 +716,6 @@ func Run(sys *circuit.System, opts Options) (*Result, error) {
 
 	last := hist.Last()
 	ps.Stats.Stages = ps.Stats.Solves // serial: every solve is sequential
+	ps.HarvestSolverStats()
 	return &Result{W: w, Stats: ps.Stats, FinalX: num.Copy(last.X), Recovery: rl}, nil
 }

@@ -17,6 +17,10 @@ type Set struct {
 	Index []int       // solution-vector index of each signal
 	Times []float64   // sample times, ascending
 	Data  [][]float64 // Data[k][j] = signal j at Times[k]
+
+	// chunk is the unconsumed remainder of a block-allocated backing array
+	// rows are carved from, so Append is not one allocation per time point.
+	chunk []float64
 }
 
 // NewSet creates an empty set recording the given solution-vector indices.
@@ -33,7 +37,12 @@ func (s *Set) Append(t float64, x []float64) {
 	if n := len(s.Times); n > 0 && t <= s.Times[n-1] {
 		panic(fmt.Sprintf("waveform: Append out of order: %g after %g", t, s.Times[n-1]))
 	}
-	row := make([]float64, len(s.Index))
+	w := len(s.Index)
+	if len(s.chunk) < w {
+		s.chunk = make([]float64, 256*w)
+	}
+	row := s.chunk[:w:w]
+	s.chunk = s.chunk[w:]
 	for j, idx := range s.Index {
 		row[j] = x[idx]
 	}

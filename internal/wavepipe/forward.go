@@ -5,34 +5,8 @@ import (
 
 	"wavepipe/internal/faults"
 	"wavepipe/internal/integrate"
-	"wavepipe/internal/num"
+	"wavepipe/internal/transient"
 )
-
-// predictPoint extrapolates a full (X, Q, Qdot) point from history — the
-// speculative stand-in for a predecessor that has not converged yet.
-func predictPoint(hist *integrate.History, t float64, n int) *integrate.Point {
-	pts := hist.Tail(3)
-	ts := make([]float64, len(pts))
-	xs := make([][]float64, len(pts))
-	qs := make([][]float64, len(pts))
-	qds := make([][]float64, len(pts))
-	for i, p := range pts {
-		ts[i] = p.T
-		xs[i] = p.X
-		qs[i] = p.Q
-		qds[i] = p.Qdot
-	}
-	pt := &integrate.Point{
-		T:    t,
-		X:    make([]float64, n),
-		Q:    make([]float64, n),
-		Qdot: make([]float64, n),
-	}
-	num.PredictVectorAt(ts, xs, t, pt.X)
-	num.PredictVectorAt(ts, qs, t, pt.Q)
-	num.PredictVectorAt(ts, qds, t, pt.Qdot)
-	return pt
-}
 
 // forwardStage runs one forward-pipelining stage (optionally combined with
 // backward workers), in two parallel phases:
@@ -86,13 +60,15 @@ func (e *engine) forwardStage(combined bool) error {
 	var warmFwdNanos, warmB2Nanos int64
 	// The predicted history mirrors the spacing of the true one (including
 	// the backward point when present) so the speculative assemblies'
-	// Alpha0 match and ResumeAt can reuse them.
-	predicted := func() *integrate.History {
+	// Alpha0 match and ResumeAt can reuse them. Each warm-start task predicts
+	// with its own solver's pooled prediction ring, so the concurrent phase-A
+	// tasks never share scratch.
+	predicted := func(ps *transient.PointSolver) *integrate.History {
 		ph := e.hist.Clone()
 		if doBack1 {
-			ph.Add(predictPoint(e.hist, t1-delta, e.sys.N))
+			ph.Add(ps.PredictPoint(e.hist, t1-delta))
 		}
-		ph.Add(predictPoint(e.hist, t1, e.sys.N))
+		ph.Add(ps.PredictPoint(e.hist, t1))
 		return ph
 	}
 	tasksA := []func(){e.guardTask(t1, &main, func() {
@@ -108,13 +84,13 @@ func (e *engine) forwardStage(combined bool) error {
 	depth := e.warmDepth()
 	if doForward {
 		tasksA = append(tasksA, e.guardTask(t2, &warmFwdRes, func() {
-			warmFwd = e.solvers[1].WarmStart(predicted(), t2, depth)
+			warmFwd = e.solvers[1].WarmStart(predicted(e.solvers[1]), t2, depth)
 			warmFwdNanos = e.solvers[1].LastNanos
 		}))
 	}
 	if doBack2 {
 		tasksA = append(tasksA, e.guardTask(t2-delta, &warmB2Res, func() {
-			warmB2 = e.solvers[3].WarmStart(predicted(), t2-delta, depth)
+			warmB2 = e.solvers[3].WarmStart(predicted(e.solvers[3]), t2-delta, depth)
 			warmB2Nanos = e.solvers[3].LastNanos
 		}))
 	}

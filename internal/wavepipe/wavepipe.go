@@ -146,6 +146,11 @@ func Run(sys *circuit.System, opts Options) (*transient.Result, error) {
 	for i := 0; i < opts.Threads; i++ {
 		s := transient.NewPointSolver(sys, base.Method, base.Newton, base.Gmin)
 		s.WS.Faults = base.Faults
+		if base.LoadWorkers > 1 {
+			s.WS.SetLoadWorkers(base.LoadWorkers)
+			s.WS.SetLoadMode(base.LoadMode)
+		}
+		s.WS.Solver.BypassTol = base.BypassTol
 		e.solvers = append(e.solvers, s)
 	}
 
@@ -200,6 +205,7 @@ func Run(sys *circuit.System, opts Options) (*transient.Result, error) {
 func (e *engine) result() *transient.Result {
 	stats := transient.Stats{}
 	for _, s := range e.solvers {
+		s.HarvestSolverStats()
 		stats.Add(s.Stats)
 	}
 	stats.Points = e.points
@@ -249,6 +255,13 @@ type engine struct {
 	degradedStages int
 	critNanos      int64
 	emaIters       float64 // rolling main-solve Newton iteration count
+
+	// Coordinator-side scratch: the LTE checks and step selection run on the
+	// coordinator between parallel phases, so one set of buffers makes the
+	// per-stage bookkeeping allocation-free.
+	ltePts  []*integrate.Point
+	tailBuf []*integrate.Point
+	lteScr  integrate.LTEScratch
 }
 
 // t returns the current simulation time.
@@ -330,8 +343,9 @@ func (e *engine) lteNorm(res pointResult) float64 {
 }
 
 func (e *engine) lteNormAgainst(hist *integrate.History, res pointResult) float64 {
-	pts := append(hist.SpacedTail(res.co.Order+1, res.co.H0/4), res.pt)
-	return e.ctrl.CheckLTE(e.base.Method, res.co.Order, pts, res.co.H0, res.co.H1)
+	e.ltePts = hist.AppendSpacedTail(e.ltePts[:0], res.co.Order+1, res.co.H0/4)
+	e.ltePts = append(e.ltePts, res.pt)
+	return e.ctrl.CheckLTEWith(e.base.Method, res.co.Order, e.ltePts, res.co.H0, res.co.H1, &e.lteScr)
 }
 
 // accept publishes a point into the history and the waveform set. Any
@@ -480,7 +494,8 @@ func (e *engine) handleBreak(lastStep float64) {
 // credits the cap once per accepted point instead.
 func (e *engine) nextStep(hUsed float64, accepted int, norm, h1Solve float64) {
 	order := e.base.Method.Order()
-	last := e.hist.Tail(2)
+	e.tailBuf = e.hist.AppendTail(e.tailBuf[:0], 2)
+	last := e.tailBuf
 	h1Next := 0.0
 	if len(last) == 2 {
 		h1Next = last[1].T - last[0].T

@@ -110,6 +110,20 @@ const (
 	PMOS = device.PMOS
 )
 
+// LoadMode selects the parallel device-assembly strategy.
+type LoadMode = circuit.LoadMode
+
+// Parallel assembly strategies (see TranOptions.LoadMode).
+const (
+	// LoadAuto chooses colored stamping when the conflict coloring predicts
+	// a speedup, sharded accumulation otherwise (the default).
+	LoadAuto = circuit.LoadAuto
+	// LoadSharded always uses per-worker matrix shards with a reduction.
+	LoadSharded = circuit.LoadSharded
+	// LoadColored always uses conflict-colored direct stamping.
+	LoadColored = circuit.LoadColored
+)
+
 // Method selects the implicit integration formula.
 type Method = integrate.Method
 
@@ -243,6 +257,18 @@ type TranOptions struct {
 	DeltaRatio float64
 	// AggressiveGrowth enables the per-point growth-cap credit (ablation).
 	AggressiveGrowth bool
+	// LoadMode selects the parallel device-assembly strategy when the engine
+	// evaluates devices with multiple workers (FineGrained, or WavePipe
+	// schemes on top of parallel load): LoadAuto picks colored direct
+	// stamping when the circuit's conflict coloring predicts a speedup and
+	// falls back to sharded accumulation otherwise.
+	LoadMode LoadMode
+	// BypassTol enables Newton factorization bypass: when the largest
+	// relative change of any Jacobian entry since the last factorization is
+	// below this tolerance, the previous LU factors are reused for the
+	// iteration. 0 (the default) disables bypass and keeps waveforms
+	// bit-identical to the always-factorize engine.
+	BypassTol float64
 	// Faults injects deterministic solver faults for robustness testing
 	// (nil in production runs).
 	Faults *FaultInjector
@@ -339,11 +365,13 @@ func baseOptions(sys *System, opts TranOptions) (transient.Options, error) {
 		return transient.Options{}, fmt.Errorf("wavepipe: TStop must be positive")
 	}
 	base := transient.Options{
-		TStop:  opts.TStop,
-		Method: opts.Method,
-		HInit:  opts.InitStep,
-		UIC:    opts.UIC,
-		Faults: opts.Faults,
+		TStop:     opts.TStop,
+		Method:    opts.Method,
+		HInit:     opts.InitStep,
+		UIC:       opts.UIC,
+		Faults:    opts.Faults,
+		LoadMode:  opts.LoadMode,
+		BypassTol: opts.BypassTol,
 	}
 	ctrl := integrate.DefaultControl(opts.TStop)
 	if opts.RelTol > 0 {

@@ -13,9 +13,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"time"
 
 	"wavepipe"
@@ -24,8 +27,15 @@ import (
 )
 
 var (
-	quick = flag.Bool("quick", false, "reduce simulation windows 5x (smoke test)")
-	reps  = flag.Int("reps", 1, "wall-clock repetitions (minimum is reported)")
+	quick       = flag.Bool("quick", false, "reduce simulation windows 5x (smoke test)")
+	reps        = flag.Int("reps", 1, "wall-clock repetitions (minimum is reported)")
+	tracePath   = flag.String("trace", "", "record every timed run's event stream to this file (.jsonl = JSONL, else Chrome trace_event JSON)")
+	metricsAddr = flag.String("metrics-addr", "", "serve live run metrics over HTTP on this address (Prometheus text at /metrics)")
+
+	// benchObserver, when non-nil, is attached to every timed run so one
+	// trace/metrics stream covers the whole regeneration. Tracing perturbs
+	// the per-solve timings slightly; don't combine with published numbers.
+	benchObserver wavepipe.Observer
 )
 
 func main() {
@@ -36,6 +46,40 @@ func main() {
 	benchName := flag.String("bench", "grid16", "circuit for -json (a suite name, or all)")
 	bypassTol := flag.Float64("bypasstol", 0, "factorization-bypass tolerance for the -json run")
 	flag.Parse()
+
+	var traceRec *wavepipe.TraceRecorder
+	var observers []wavepipe.Observer
+	if *tracePath != "" {
+		// Default-sized ring: -all regenerations emit far more events than a
+		// single run and only the most recent window is usually of interest.
+		traceRec = wavepipe.NewTraceRecorder(-1)
+		observers = append(observers, traceRec)
+	}
+	if *metricsAddr != "" {
+		m := wavepipe.NewTraceMetrics()
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wavebench: metrics listener:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wavebench: serving metrics on http://%s/metrics\n", ln.Addr())
+		go func() {
+			srv := &http.Server{Handler: m.Handler(), ReadHeaderTimeout: 5 * time.Second}
+			_ = srv.Serve(ln)
+		}()
+		observers = append(observers, m)
+	}
+	if len(observers) > 0 {
+		benchObserver = wavepipe.MultiObserver(observers...)
+	}
+	defer func() {
+		if traceRec == nil {
+			return
+		}
+		if err := writeTrace(*tracePath, traceRec); err != nil {
+			fmt.Fprintln(os.Stderr, "wavebench: trace:", err)
+		}
+	}()
 
 	if *jsonOut {
 		if err := jsonMetrics(*benchName, *bypassTol); err != nil {
@@ -110,8 +154,11 @@ func build(b circuits.Benchmark) (*circuit.System, error) {
 }
 
 // timed runs a configuration reps times and returns the fastest wall time
-// with the (identical) result.
+// with the (identical) result. The shared -trace/-metrics-addr observer is
+// attached here so every measured run across every table and figure feeds
+// the same telemetry stream.
 func timed(sys *circuit.System, opts wavepipe.TranOptions) (time.Duration, *wavepipe.Result, error) {
+	opts.Observer = benchObserver
 	var best time.Duration
 	var bestCrit int64
 	var res *wavepipe.Result
@@ -469,3 +516,24 @@ func findBench(name string) (circuits.Benchmark, bool) {
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// writeTrace exports the recorded event stream: JSONL for .jsonl paths,
+// Chrome trace_event JSON otherwise.
+func writeTrace(path string, rec *wavepipe.TraceRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if rec.Dropped() > 0 {
+		fmt.Fprintf(os.Stderr, "wavebench: trace ring dropped %d oldest events\n", rec.Dropped())
+	}
+	if strings.HasSuffix(strings.ToLower(path), ".jsonl") {
+		err = wavepipe.WriteTraceJSONL(f, rec.Events(), rec.Snapshots())
+	} else {
+		err = wavepipe.WriteChromeTrace(f, rec.Events(), rec.Snapshots())
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -5,17 +5,31 @@
 // Usage:
 //
 //	wavesim [-analysis tran] [-scheme combined] [-threads 4] [-tstop 1u]
-//	        [-probe out,in] [-method gear2] [-o out.csv] [-stats] deck.sp
+//	        [-probe out,in] [-method gear2] [-o out.csv] [-stats]
+//	        [-trace run.json] [-metrics-addr :8123] deck.sp
 //	wavesim -analysis ac deck.sp     # uses the deck's .AC card
 //	wavesim -analysis dc deck.sp     # uses the deck's .DC card
+//
+// With -trace the transient run records its structured event stream and
+// writes it on exit: a .jsonl path gets the line-delimited event log, any
+// other extension gets Chrome trace_event JSON (load in chrome://tracing or
+// https://ui.perfetto.dev). With -metrics-addr the run serves live counters
+// over HTTP (Prometheus text at /metrics, JSON elsewhere) while it computes.
+// Interrupting a run (Ctrl-C) cancels it cleanly at the next time point: the
+// partial waveform is still written, and the exit code is 8.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"wavepipe"
@@ -34,6 +48,7 @@ const (
 	exitNonFinite     = 5
 	exitStepTooSmall  = 6
 	exitWorkerPanic   = 7
+	exitCanceled      = 8
 )
 
 // exitCodeFor maps an error to its exit code. The step-too-small and
@@ -44,6 +59,8 @@ func exitCodeFor(err error) int {
 	switch {
 	case err == nil:
 		return exitOK
+	case errors.Is(err, wavepipe.ErrCanceled):
+		return exitCanceled
 	case errors.Is(err, wavepipe.ErrStepTooSmall):
 		return exitStepTooSmall
 	case errors.Is(err, wavepipe.ErrWorkerPanic):
@@ -59,28 +76,53 @@ func exitCodeFor(err error) int {
 	}
 }
 
+// runConfig carries the parsed command line into run.
+type runConfig struct {
+	deckPath    string
+	analysis    string
+	scheme      string
+	method      string
+	tstop       string
+	probes      string
+	outPath     string
+	interval    string
+	loadMode    string
+	tracePath   string
+	metricsAddr string
+	threads     int
+	bypassTol   float64
+	stats       bool
+}
+
 func main() {
-	var (
-		analysisFlag = flag.String("analysis", "tran", "analysis: tran, ac, dc")
-		schemeFlag   = flag.String("scheme", "serial", "engine: serial, backward, forward, combined, finegrain")
-		threadsFlag  = flag.Int("threads", 0, "worker threads for parallel schemes (0 = scheme default)")
-		tstopFlag    = flag.String("tstop", "", "override the deck's .TRAN stop time (SPICE units, e.g. 10u)")
-		methodFlag   = flag.String("method", "gear2", "integration method: gear2, trap, be")
-		probeFlag    = flag.String("probe", "", "comma-separated node names to record (default: all nodes)")
-		intervalFlag = flag.String("interval", "", "resample transient output uniformly at this interval (e.g. 1u); default: the solver's own time points")
-		outFlag      = flag.String("o", "", "CSV output file (default: stdout)")
-		statsFlag    = flag.Bool("stats", false, "print run statistics to stderr")
-		bypassFlag   = flag.Float64("bypasstol", 0, "Newton factorization-bypass tolerance (0 = always factorize)")
-		loadModeFlag = flag.String("loadmode", "auto", "parallel device-assembly strategy: auto, sharded, colored")
-	)
+	cfg := runConfig{}
+	flag.StringVar(&cfg.analysis, "analysis", "tran", "analysis: tran, ac, dc")
+	flag.StringVar(&cfg.scheme, "scheme", "serial", "engine: serial, backward, forward, combined, finegrain")
+	flag.IntVar(&cfg.threads, "threads", 0, "worker threads for parallel schemes (0 = scheme default)")
+	flag.StringVar(&cfg.tstop, "tstop", "", "override the deck's .TRAN stop time (SPICE units, e.g. 10u)")
+	flag.StringVar(&cfg.method, "method", "gear2", "integration method: gear2, trap, be")
+	flag.StringVar(&cfg.probes, "probe", "", "comma-separated node names to record (default: all nodes)")
+	flag.StringVar(&cfg.interval, "interval", "", "resample transient output uniformly at this interval (e.g. 1u); default: the solver's own time points")
+	flag.StringVar(&cfg.outPath, "o", "", "CSV output file (default: stdout)")
+	flag.BoolVar(&cfg.stats, "stats", false, "print run statistics to stderr")
+	flag.Float64Var(&cfg.bypassTol, "bypasstol", 0, "Newton factorization-bypass tolerance (0 = always factorize)")
+	flag.StringVar(&cfg.loadMode, "loadmode", "auto", "parallel device-assembly strategy: auto, sharded, colored")
+	flag.StringVar(&cfg.tracePath, "trace", "", "write the run's event trace to this file (.jsonl = JSONL event log, anything else = Chrome trace_event JSON)")
+	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve live run metrics over HTTP on this address (Prometheus text at /metrics)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: wavesim [flags] deck.sp")
 		flag.Usage()
 		os.Exit(exitUsage)
 	}
+	cfg.deckPath = flag.Arg(0)
 
-	if err := run(flag.Arg(0), *analysisFlag, *schemeFlag, *methodFlag, *tstopFlag, *probeFlag, *outFlag, *intervalFlag, *loadModeFlag, *threadsFlag, *bypassFlag, *statsFlag); err != nil {
+	// Ctrl-C / SIGTERM cancels the run at the next time-point boundary; the
+	// partial waveform (and trace) are still written before exiting 8.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "wavesim:", err)
 		os.Exit(exitCodeFor(err))
 	}
@@ -103,8 +145,41 @@ func reportFailure(w *os.File, res *wavepipe.Result, err error) {
 	}
 }
 
-func run(deckPath, analysis, schemeName, methodName, tstop, probes, outPath, interval, loadMode string, threads int, bypassTol float64, stats bool) error {
-	src, err := os.ReadFile(deckPath)
+// writeTrace exports a recorded event stream: JSONL for .jsonl paths, Chrome
+// trace_event JSON otherwise.
+func writeTrace(path string, rec *wavepipe.TraceRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(strings.ToLower(path), ".jsonl") {
+		err = wavepipe.WriteTraceJSONL(f, rec.Events(), rec.Snapshots())
+	} else {
+		err = wavepipe.WriteChromeTrace(f, rec.Events(), rec.Snapshots())
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// serveMetrics exposes m over HTTP until the process exits. The listener is
+// bound synchronously so scripts can scrape immediately after startup.
+func serveMetrics(addr string, m *wavepipe.TraceMetrics) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("metrics listener: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "wavesim: serving metrics on http://%s/metrics\n", ln.Addr())
+	go func() {
+		srv := &http.Server{Handler: m.Handler(), ReadHeaderTimeout: 5 * time.Second}
+		_ = srv.Serve(ln)
+	}()
+	return nil
+}
+
+func run(ctx context.Context, cfg runConfig) error {
+	src, err := os.ReadFile(cfg.deckPath)
 	if err != nil {
 		return err
 	}
@@ -113,12 +188,12 @@ func run(deckPath, analysis, schemeName, methodName, tstop, probes, outPath, int
 		return err
 	}
 	var record []string
-	if probes != "" {
-		record = strings.Split(probes, ",")
+	if cfg.probes != "" {
+		record = strings.Split(cfg.probes, ",")
 	}
 	out := os.Stdout
-	if outPath != "" {
-		f, err := os.Create(outPath)
+	if cfg.outPath != "" {
+		f, err := os.Create(cfg.outPath)
 		if err != nil {
 			return err
 		}
@@ -126,7 +201,7 @@ func run(deckPath, analysis, schemeName, methodName, tstop, probes, outPath, int
 		out = f
 	}
 
-	switch strings.ToLower(analysis) {
+	switch strings.ToLower(cfg.analysis) {
 	case "ac":
 		res, err := wavepipe.RunDeckAC(deck, wavepipe.ACOptions{Record: record})
 		if err != nil {
@@ -142,11 +217,11 @@ func run(deckPath, analysis, schemeName, methodName, tstop, probes, outPath, int
 	case "tran", "":
 		// handled below
 	default:
-		return fmt.Errorf("unknown analysis %q", analysis)
+		return fmt.Errorf("unknown analysis %q", cfg.analysis)
 	}
 
-	opts := wavepipe.TranOptions{Threads: threads, BypassTol: bypassTol}
-	switch strings.ToLower(loadMode) {
+	opts := wavepipe.TranOptions{Threads: cfg.threads, BypassTol: cfg.bypassTol}
+	switch strings.ToLower(cfg.loadMode) {
 	case "auto", "":
 		opts.LoadMode = wavepipe.LoadAuto
 	case "sharded":
@@ -154,9 +229,9 @@ func run(deckPath, analysis, schemeName, methodName, tstop, probes, outPath, int
 	case "colored":
 		opts.LoadMode = wavepipe.LoadColored
 	default:
-		return fmt.Errorf("unknown load mode %q", loadMode)
+		return fmt.Errorf("unknown load mode %q", cfg.loadMode)
 	}
-	switch strings.ToLower(schemeName) {
+	switch strings.ToLower(cfg.scheme) {
 	case "serial":
 		opts.Scheme = wavepipe.Serial
 	case "backward":
@@ -168,9 +243,9 @@ func run(deckPath, analysis, schemeName, methodName, tstop, probes, outPath, int
 	case "finegrain":
 		opts.Scheme = wavepipe.FineGrained
 	default:
-		return fmt.Errorf("unknown scheme %q", schemeName)
+		return fmt.Errorf("unknown scheme %q", cfg.scheme)
 	}
-	switch strings.ToLower(methodName) {
+	switch strings.ToLower(cfg.method) {
 	case "gear2", "":
 		opts.Method = wavepipe.Gear2
 	case "trap":
@@ -178,10 +253,10 @@ func run(deckPath, analysis, schemeName, methodName, tstop, probes, outPath, int
 	case "be":
 		opts.Method = wavepipe.BackwardEuler
 	default:
-		return fmt.Errorf("unknown method %q", methodName)
+		return fmt.Errorf("unknown method %q", cfg.method)
 	}
-	if tstop != "" {
-		v, err := netlist.ParseValue(tstop)
+	if cfg.tstop != "" {
+		v, err := netlist.ParseValue(cfg.tstop)
 		if err != nil {
 			return fmt.Errorf("bad -tstop: %w", err)
 		}
@@ -189,17 +264,49 @@ func run(deckPath, analysis, schemeName, methodName, tstop, probes, outPath, int
 	}
 	opts.Record = record
 
+	var rec *wavepipe.TraceRecorder
+	var observers []wavepipe.Observer
+	if cfg.tracePath != "" {
+		rec = wavepipe.NewTraceRecorder(0) // unbounded: the export must reconcile
+		observers = append(observers, rec)
+	}
+	if cfg.metricsAddr != "" {
+		metrics := wavepipe.NewTraceMetrics()
+		if err := serveMetrics(cfg.metricsAddr, metrics); err != nil {
+			return err
+		}
+		observers = append(observers, metrics)
+	}
+	if len(observers) > 0 {
+		opts.Observer = wavepipe.MultiObserver(observers...)
+	}
+
 	start := time.Now()
-	res, err := wavepipe.RunDeck(deck, opts)
+	res, err := wavepipe.RunDeckCtx(ctx, deck, opts)
+	wall := time.Since(start)
+	if rec != nil && res != nil {
+		// Written even on failure/cancellation: the trace of a broken run is
+		// exactly the one worth looking at.
+		if terr := writeTrace(cfg.tracePath, rec); terr != nil {
+			fmt.Fprintln(os.Stderr, "wavesim: trace:", terr)
+		}
+	}
 	if err != nil {
+		if res != nil && errors.Is(err, wavepipe.ErrCanceled) {
+			// A canceled run still delivers the waveform computed so far.
+			fmt.Fprintf(os.Stderr, "wavesim: canceled at %d points; writing partial waveform\n", res.Stats.Points)
+			if werr := res.W.WriteCSV(out); werr != nil {
+				return werr
+			}
+			return err
+		}
 		reportFailure(os.Stderr, res, err)
 		return err
 	}
-	wall := time.Since(start)
 
 	w := res.W
-	if interval != "" {
-		dt, err := netlist.ParseValue(interval)
+	if cfg.interval != "" {
+		dt, err := netlist.ParseValue(cfg.interval)
 		if err != nil {
 			return fmt.Errorf("bad -interval: %w", err)
 		}
@@ -210,10 +317,10 @@ func run(deckPath, analysis, schemeName, methodName, tstop, probes, outPath, int
 	if err := w.WriteCSV(out); err != nil {
 		return err
 	}
-	if stats {
+	if cfg.stats {
 		fmt.Fprintf(os.Stderr,
 			"wavesim: %s | scheme=%s points=%d stages=%d nr-iters=%d lte-rejects=%d discarded=%d recoveries=%d full-factor=%d refactor=%d bypassed=%d wall=%s\n",
-			deck.Title, schemeName, res.Stats.Points, res.Stats.Stages,
+			deck.Title, cfg.scheme, res.Stats.Points, res.Stats.Stages,
 			res.Stats.NRIters, res.Stats.LTERejects, res.Stats.Discarded,
 			res.Stats.Recoveries, res.Stats.FullFactorizations, res.Stats.Refactorizations,
 			res.Stats.BypassedFactorizations, wall.Round(time.Microsecond))

@@ -21,6 +21,7 @@ import (
 
 	"wavepipe/internal/faults"
 	"wavepipe/internal/sparse"
+	"wavepipe/internal/trace"
 )
 
 // Ground is the node index of the reference node. Stamps addressed to
@@ -252,6 +253,13 @@ type Workspace struct {
 	// layers operating on this workspace.
 	Faults *faults.Injector
 
+	// Trace is the run's event stream (nil when no observer is attached —
+	// every emission site is nil-safe, costing one pointer test). Worker
+	// identifies this workspace's lane in the trace (-1 when the run is
+	// serial / unattributed).
+	Trace  *trace.Tracer
+	Worker int16
+
 	// ForceParallelLoad makes the colored load spawn real worker goroutines
 	// even on a single-CPU host, where it would otherwise run the color
 	// classes serially (identical results, no spinning). Race tests use it to
@@ -296,6 +304,7 @@ func (s *System) NewWorkspace() *Workspace {
 		B:      make([]float64, s.N),
 		SPrev:  make([]float64, s.NumStates),
 		SNext:  make([]float64, s.NumStates),
+		Worker: -1,
 	}
 }
 

@@ -24,6 +24,9 @@ var (
 	// ErrWorkerPanic: a pipeline stage worker panicked; the panic was
 	// recovered and converted to this error.
 	ErrWorkerPanic = errors.New("wavepipe: worker panic")
+	// ErrCanceled: the run observed context cancellation and stopped at a
+	// time-point boundary; the partial result up to that point is valid.
+	ErrCanceled = errors.New("transient: run canceled")
 )
 
 // SimError attaches simulation context — which phase, at what time, on which

@@ -7,10 +7,12 @@ package newton
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"wavepipe/internal/circuit"
 	"wavepipe/internal/faults"
 	"wavepipe/internal/num"
+	"wavepipe/internal/trace"
 )
 
 // ErrNoConvergence is wrapped by Solve when the iteration limit is reached.
@@ -63,7 +65,16 @@ func Solve(ws *circuit.Workspace, x []float64, p circuit.LoadParams, qhist []flo
 	forceFresh := false
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		p.FirstIter = iter == 0
-		ws.Load(x, p)
+		if ws.Trace.Active() {
+			t0 := time.Now()
+			ws.Load(x, p)
+			ws.Trace.Emit(trace.Event{
+				Kind: trace.KindPhase, Phase: trace.PhaseDeviceLoad,
+				Dur: time.Since(t0).Nanoseconds(), T: p.Time, Worker: ws.Worker,
+			})
+		} else {
+			ws.Load(x, p)
+		}
 		limited := ws.Limited
 		ws.Residual(p.Alpha0, qhist, r)
 		if err := factorAndSolve(ws, p.Time, r, dx, forceFresh); err != nil {
@@ -140,9 +151,12 @@ func Solve(ws *circuit.Workspace, x []float64, p circuit.LoadParams, qhist []flo
 		fmt.Errorf("%w after %d iterations", ErrNoConvergence, opts.MaxIter))
 }
 
-func factorAndSolve(ws *circuit.Workspace, time float64, r, dx []float64, forceFresh bool) error {
-	if cls, ok := ws.Faults.At(faults.SiteFactor, time); ok && cls == faults.Singular {
+func factorAndSolve(ws *circuit.Workspace, at float64, r, dx []float64, forceFresh bool) error {
+	if cls, ok := ws.Faults.At(faults.SiteFactor, at); ok && cls == faults.Singular {
 		return fmt.Errorf("%w (injected)", faults.ErrSingular)
+	}
+	if ws.Trace.Active() {
+		return factorAndSolveTraced(ws, at, r, dx, forceFresh)
 	}
 	var err error
 	if forceFresh {
@@ -154,6 +168,43 @@ func factorAndSolve(ws *circuit.Workspace, time float64, r, dx []float64, forceF
 		return err
 	}
 	return ws.Solver.Solve(r, dx)
+}
+
+// factorAndSolveTraced is the observed twin of factorAndSolve: it splits the
+// linear-solve work into a factorization span (flagged when the bypass
+// policy reused the previous LU) and a triangular-solve span.
+func factorAndSolveTraced(ws *circuit.Workspace, at float64, r, dx []float64, forceFresh bool) error {
+	t0 := time.Now()
+	var err error
+	if forceFresh {
+		err = ws.Solver.FactorizeFresh()
+	} else {
+		err = ws.Solver.Factorize()
+	}
+	ev := trace.Event{
+		Kind: trace.KindPhase, Phase: trace.PhaseFactor,
+		Dur: time.Since(t0).Nanoseconds(), T: at, Worker: ws.Worker,
+	}
+	if ws.Solver.LastBypassed {
+		ev.Flags |= trace.FlagBypassed
+	}
+	if err != nil {
+		ev.Flags |= trace.FlagFailed
+		ws.Trace.Emit(ev)
+		return err
+	}
+	ws.Trace.Emit(ev)
+	t0 = time.Now()
+	err = ws.Solver.Solve(r, dx)
+	ev = trace.Event{
+		Kind: trace.KindPhase, Phase: trace.PhaseTriSolve,
+		Dur: time.Since(t0).Nanoseconds(), T: at, Worker: ws.Worker,
+	}
+	if err != nil {
+		ev.Flags |= trace.FlagFailed
+	}
+	ws.Trace.Emit(ev)
+	return err
 }
 
 // ResumeSolve continues a Newton iteration whose assembly already exists:

@@ -1,0 +1,103 @@
+package trace
+
+import "sync"
+
+// defaultRingCapacity bounds a Recorder created with a negative capacity.
+const defaultRingCapacity = 1 << 16
+
+// Recorder is an Observer that collects events and snapshots in memory for
+// post-run export (JSONL, Chrome trace) or inspection.
+//
+// With capacity > 0 it is a fixed-size ring keeping the newest events: the
+// steady-state cost of recording is one struct copy, no allocation, which
+// is what makes an always-on flight recorder affordable on long runs (the
+// Dropped counter reports how much history scrolled away). With capacity
+// 0 it grows without bound — the right choice for finite runs that will be
+// exported in full, where dropped events would make the trace irreconcilable
+// with the run's Stats. Snapshots are comparatively rare and are always
+// kept in full.
+type Recorder struct {
+	mu       sync.Mutex
+	capacity int
+	events   []Event
+	head     int // index of the oldest event once the ring has wrapped
+	wrapped  bool
+	dropped  uint64
+	snaps    []Snapshot
+}
+
+// NewRecorder returns a recorder. capacity > 0 bounds the event ring to
+// that many newest events; capacity == 0 keeps every event; capacity < 0
+// selects the default ring size (65536).
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 0 {
+		capacity = defaultRingCapacity
+	}
+	return &Recorder{capacity: capacity}
+}
+
+// OnEvent records one event, evicting the oldest when the ring is full.
+func (r *Recorder) OnEvent(ev Event) {
+	r.mu.Lock()
+	if r.capacity > 0 && len(r.events) == r.capacity {
+		r.events[r.head] = ev
+		r.head = (r.head + 1) % r.capacity
+		r.wrapped = true
+		r.dropped++
+	} else {
+		r.events = append(r.events, ev)
+	}
+	r.mu.Unlock()
+}
+
+// OnSnapshot records one snapshot.
+func (r *Recorder) OnSnapshot(s Snapshot) {
+	r.mu.Lock()
+	r.snaps = append(r.snaps, s)
+	r.mu.Unlock()
+}
+
+// Events returns the recorded events in emission order (a copy).
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.events))
+	if r.wrapped {
+		out = append(out, r.events[r.head:]...)
+		out = append(out, r.events[:r.head]...)
+		return out
+	}
+	return append(out, r.events...)
+}
+
+// Snapshots returns the recorded snapshots in emission order (a copy).
+func (r *Recorder) Snapshots() []Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Snapshot(nil), r.snaps...)
+}
+
+// Len returns how many events are currently held.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Dropped returns how many events were evicted from the ring.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Reset discards everything recorded so far, keeping the configuration.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.events = r.events[:0]
+	r.head = 0
+	r.wrapped = false
+	r.dropped = 0
+	r.snaps = r.snaps[:0]
+	r.mu.Unlock()
+}

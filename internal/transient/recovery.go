@@ -22,7 +22,16 @@ import (
 	"wavepipe/internal/faults"
 	"wavepipe/internal/integrate"
 	"wavepipe/internal/newton"
+	"wavepipe/internal/trace"
 )
+
+// emitRecovery publishes one KindRecovery event, paired 1:1 with the
+// Stats.Recoveries increments so traces reconcile exactly.
+func (ps *PointSolver) emitRecovery(t float64, detail string) {
+	if tr := ps.WS.Trace; tr.Active() {
+		tr.Emit(trace.Event{Kind: trace.KindRecovery, T: t, Worker: ps.WS.Worker, Detail: detail})
+	}
+}
 
 // Recovery event kinds.
 const (
@@ -122,7 +131,9 @@ func (ps *PointSolver) RecoverAt(hist *integrate.History, tNew float64, log *Rec
 		pt, co, err := ps.solveAtWith(hist, tNew, nil, opts, 0)
 		if err == nil {
 			ps.Stats.Recoveries++
-			log.Note(tNew, RecoveryDamping, fmt.Sprintf("damping %.3g", opts.Damping))
+			detail := fmt.Sprintf("damping %.3g", opts.Damping)
+			log.Note(tNew, RecoveryDamping, detail)
+			ps.emitRecovery(tNew, RecoveryDamping+" "+detail)
 			return pt, co, nil
 		}
 		lastErr = err
@@ -134,6 +145,7 @@ func (ps *PointSolver) RecoverAt(hist *integrate.History, tNew float64, log *Rec
 	if err == nil {
 		ps.Stats.Recoveries++
 		log.Note(tNew, RecoveryGminRamp, "")
+		ps.emitRecovery(tNew, RecoveryGminRamp)
 		return pt, co, nil
 	}
 	if lastErr == nil {

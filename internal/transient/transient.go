@@ -5,6 +5,7 @@
 package transient
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"wavepipe/internal/integrate"
 	"wavepipe/internal/newton"
 	"wavepipe/internal/num"
+	"wavepipe/internal/trace"
 	"wavepipe/internal/waveform"
 )
 
@@ -71,6 +73,32 @@ type Options struct {
 	// Faults, when non-nil, is a deterministic fault-injection harness shared
 	// by every solver layer of the run (tests only; nil in production).
 	Faults *faults.Injector
+	// Ctx, when non-nil, is polled at every time-point boundary: once it is
+	// done the run stops, returning the partial Result alongside an error
+	// wrapping faults.ErrCanceled.
+	Ctx context.Context
+	// Trace, when non-nil, receives the structured run telemetry (per-point
+	// events, solve-phase timings, periodic snapshots). Nil keeps the hot
+	// path allocation- and clock-read-free.
+	Trace *trace.Tracer
+}
+
+// canceled reports whether o.Ctx has been canceled (nil-safe, non-blocking).
+func (o *Options) canceled() bool {
+	if o.Ctx == nil {
+		return false
+	}
+	select {
+	case <-o.Ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// CancelError builds the typed error a canceled run returns.
+func CancelError(phase string, t float64) error {
+	return &faults.SimError{Phase: phase, Time: t, Node: -1, Cause: faults.ErrCanceled}
 }
 
 func (o Options) WithDefaults() Options {
@@ -224,6 +252,13 @@ func NewPointSolver(sys *circuit.System, method integrate.Method, nopts newton.O
 	}
 }
 
+// SetTrace attaches the run's event stream to this solver's workspace and
+// assigns its worker lane (nil tr keeps the untraced fast path).
+func (ps *PointSolver) SetTrace(tr *trace.Tracer, worker int16) {
+	ps.WS.Trace = tr
+	ps.WS.Worker = worker
+}
+
 // Predict extrapolates the solution history polynomially to time t, writing
 // the initial Newton guess into dst. At most three trailing points are used
 // (quadratic prediction).
@@ -349,7 +384,8 @@ func (ps *PointSolver) SolveAt(hist *integrate.History, tNew float64, guess []fl
 // solveAtWith is SolveAt with explicit Newton options and an optional
 // node-to-ground conductance (the recovery ladder's knobs).
 func (ps *PointSolver) solveAtWith(hist *integrate.History, tNew float64, guess []float64, nopts newton.Options, nodeGmin float64) (*integrate.Point, integrate.Coeffs, error) {
-	defer ps.model(time.Now(), ps.WS.LoadWallNanos, ps.WS.LoadCritNanos)
+	start := time.Now()
+	defer ps.model(start, ps.WS.LoadWallNanos, ps.WS.LoadCritNanos)
 	co, err := integrate.Compute(ps.Method, hist, tNew, ps.qhist)
 	if err != nil {
 		return nil, co, err
@@ -365,6 +401,8 @@ func (ps *PointSolver) solveAtWith(hist *integrate.History, tNew float64, guess 
 	ps.Stats.Solves++
 	res, err := newton.Solve(ps.WS, x, p, ps.qhist, nopts, ps.r, ps.dx)
 	ps.Stats.NRIters += res.Iters
+	ps.LastIters = res.Iters
+	ps.emitSolve(start, tNew, co.H0, res.Iters, 0, err)
 	if err != nil {
 		ps.Stats.NRFailures++
 		ps.PutPoint(pt)
@@ -373,12 +411,30 @@ func (ps *PointSolver) solveAtWith(hist *integrate.History, tNew float64, guess 
 	return ps.finishPoint(pt, tNew, co), co, nil
 }
 
+// emitSolve publishes one KindSolve event covering the whole point solve
+// (integration coefficients, prediction, Newton loop). No-op when untraced.
+func (ps *PointSolver) emitSolve(start time.Time, tNew, h float64, iters int, flags uint8, err error) {
+	tr := ps.WS.Trace
+	if !tr.Active() {
+		return
+	}
+	ev := trace.Event{
+		Kind: trace.KindSolve, T: tNew, H: h, Iters: int32(iters),
+		Worker: ps.WS.Worker, Flags: flags, Dur: time.Since(start).Nanoseconds(),
+	}
+	if err != nil {
+		ev.Flags |= trace.FlagFailed
+	}
+	tr.Emit(ev)
+}
+
 // WarmStart runs up to maxIter Newton iterations at tNew against the given
 // (possibly speculative) history and returns the resulting approximation
 // regardless of convergence. Forward pipelining uses it to pre-iterate on a
 // predicted history while the true predecessor point is still being solved.
 func (ps *PointSolver) WarmStart(hist *integrate.History, tNew float64, maxIter int) []float64 {
-	defer ps.model(time.Now(), ps.WS.LoadWallNanos, ps.WS.LoadCritNanos)
+	start := time.Now()
+	defer ps.model(start, ps.WS.LoadWallNanos, ps.WS.LoadCritNanos)
 	ps.warmValid = false
 	co, err := integrate.Compute(ps.Method, hist, tNew, ps.qhist)
 	if err != nil {
@@ -394,6 +450,12 @@ func (ps *PointSolver) WarmStart(hist *integrate.History, tNew float64, maxIter 
 	p := circuit.LoadParams{Time: tNew, Alpha0: co.Alpha0, Gmin: ps.Gmin, SrcScale: 1}
 	res, _ := newton.Solve(ps.WS, x, p, ps.qhist, opts, ps.r, ps.dx) // non-convergence is fine
 	ps.Stats.NRIters += res.Iters
+	if tr := ps.WS.Trace; tr.Active() {
+		tr.Emit(trace.Event{
+			Kind: trace.KindPredict, T: tNew, H: co.H0, Iters: int32(res.Iters),
+			Worker: ps.WS.Worker, Dur: time.Since(start).Nanoseconds(),
+		})
+	}
 	// Leave the workspace assembled and factorized exactly at x so ResumeAt
 	// can pick the speculative work up with only a residual rebuild. The
 	// device assembly is history-independent; only qhist will change. The
@@ -426,7 +488,8 @@ func (ps *PointSolver) ResumeAt(hist *integrate.History, tNew float64, warm []fl
 	if !match {
 		return ps.SolveAt(hist, tNew, warm)
 	}
-	defer ps.model(time.Now(), ps.WS.LoadWallNanos, ps.WS.LoadCritNanos)
+	start := time.Now()
+	defer ps.model(start, ps.WS.LoadWallNanos, ps.WS.LoadCritNanos)
 	pt := ps.takePoint()
 	x := pt.X
 	copy(x, warm)
@@ -434,6 +497,8 @@ func (ps *PointSolver) ResumeAt(hist *integrate.History, tNew float64, warm []fl
 	ps.Stats.Solves++
 	res, err := newton.ResumeSolve(ps.WS, x, p, ps.qhist, ps.Newton, ps.r, ps.dx)
 	ps.Stats.NRIters += res.Iters
+	ps.LastIters = res.Iters
+	ps.emitSolve(start, tNew, co.H0, res.Iters, trace.FlagResumed, err)
 	if err != nil {
 		ps.Stats.NRFailures++
 		ps.PutPoint(pt)
@@ -577,9 +642,11 @@ func Run(sys *circuit.System, opts Options) (*Result, error) {
 	}
 	opts = opts.WithDefaults()
 	ctrl := opts.Control
+	tr := opts.Trace
 	ps := NewPointSolver(sys, opts.Method, opts.Newton, opts.Gmin)
 	ps.WS.Faults = opts.Faults
 	ps.WS.Solver.BypassTol = opts.BypassTol
+	ps.SetTrace(tr, 0)
 	if opts.LoadWorkers > 1 {
 		ps.WS.SetLoadWorkers(opts.LoadWorkers)
 		ps.WS.SetLoadMode(opts.LoadMode)
@@ -612,6 +679,12 @@ func Run(sys *circuit.System, opts Options) (*Result, error) {
 	var lteTail []*integrate.Point
 
 	for t < opts.TStop*(1-1e-12) {
+		if opts.canceled() {
+			if tr.Active() {
+				tr.Emit(trace.Event{Kind: trace.KindCancel, T: t, Worker: -1})
+			}
+			return partial(w, hist), CancelError("transient", t)
+		}
 		if ps.Stats.Points >= opts.MaxPoints {
 			return partial(w, hist), fmt.Errorf("transient: exceeded %d points at t=%g", opts.MaxPoints, t)
 		}
@@ -664,9 +737,21 @@ func Run(sys *circuit.System, opts Options) (*Result, error) {
 		norm := 0.0
 		if !opts.NoLTE {
 			lteTail = append(hist.AppendTail(lteTail[:0], co.Order+1), pt)
-			norm = ctrl.CheckLTEWith(ps.Method, co.Order, lteTail, co.H0, co.H1, &ps.LTE)
+			if tr.Active() {
+				t0 := time.Now()
+				norm = ctrl.CheckLTEWith(ps.Method, co.Order, lteTail, co.H0, co.H1, &ps.LTE)
+				tr.Emit(trace.Event{
+					Kind: trace.KindPhase, Phase: trace.PhaseLTE, T: pt.T, Norm: norm,
+					Worker: ps.WS.Worker, Dur: time.Since(t0).Nanoseconds(),
+				})
+			} else {
+				norm = ctrl.CheckLTEWith(ps.Method, co.Order, lteTail, co.H0, co.H1, &ps.LTE)
+			}
 			if norm > 1 && co.H0 > ctrl.HMin*1.01 && !afterBreak {
 				ps.Stats.LTERejects++
+				if tr.Active() {
+					tr.Emit(trace.Event{Kind: trace.KindLTEReject, T: tNew, H: co.H0, Norm: norm, Worker: ps.WS.Worker})
+				}
 				h = ctrl.ShrinkOnReject(co.H0, norm, co.Order)
 				ps.PutPoint(pt)
 				continue
@@ -678,6 +763,9 @@ func Run(sys *circuit.System, opts Options) (*Result, error) {
 		ps.PutPoint(hist.Add(pt))
 		w.Append(pt.T, pt.X)
 		ps.Stats.Points++
+		if tr.Active() {
+			tr.Emit(trace.Event{Kind: trace.KindAccept, T: pt.T, H: co.H0, Norm: norm, Worker: ps.WS.Worker})
+		}
 		t = pt.T
 		hUsed = co.H0
 

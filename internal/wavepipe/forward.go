@@ -5,6 +5,7 @@ import (
 
 	"wavepipe/internal/faults"
 	"wavepipe/internal/integrate"
+	"wavepipe/internal/trace"
 	"wavepipe/internal/transient"
 )
 
@@ -98,9 +99,10 @@ func (e *engine) forwardStage(combined bool) error {
 	e.notePanics(&main, &back1, &warmFwdRes, &warmB2Res)
 	e.critNanos += e.phaseACrit(doBack1, warmFwdNanos, warmB2Nanos)
 	e.noteMainIters(e.solvers[0].LastIters)
+	e.notePhaseAOccupancy(t1, doBack1, doForward, doBack2)
 
 	if main.err != nil {
-		e.discarded += boolCount(doBack1)
+		e.noteDiscards(t1, boolCount(doBack1))
 		if !errors.Is(main.err, faults.ErrWorkerPanic) {
 			e.shrinkAfterFailure()
 		}
@@ -129,14 +131,15 @@ func (e *engine) forwardStage(combined bool) error {
 		e.runTasks(tasksB...)
 		e.notePanics(&fwd, &back2)
 		e.critNanos += e.phaseBCrit(doBack2)
+		e.notePhaseBOccupancy(t2, doBack2)
 	}
 
 	// ---- Validation and publication, ascending in time ----
 	mainNorm := e.lteNorm(main)
 	if mainNorm > 1 && main.co.H0 > e.ctrl.HMin*1.01 && !e.afterBreak {
 		// The whole stage is built on t1: discard everything.
-		e.lteRejects++
-		e.discarded += boolCount(doBack1) + boolCount(doForward) + boolCount(doBack2)
+		e.noteReject(t1, main.co.H0, mainNorm)
+		e.noteDiscards(t1, boolCount(doBack1)+boolCount(doForward)+boolCount(doBack2))
 		e.h = e.ctrl.ShrinkOnReject(main.co.H0, mainNorm, main.co.Order)
 		return nil
 	}
@@ -146,7 +149,7 @@ func (e *engine) forwardStage(combined bool) error {
 			e.accept(back1.pt)
 			accepted++
 		} else {
-			e.discarded++
+			e.noteDiscards(t1-delta, 1)
 		}
 	}
 	e.accept(main.pt)
@@ -175,7 +178,7 @@ func (e *engine) forwardStage(combined bool) error {
 			e.accept(back2.pt)
 			accepted++
 		} else {
-			e.discarded++
+			e.noteDiscards(t2-delta, 1)
 		}
 	}
 	if fwd.err == nil {
@@ -192,12 +195,13 @@ func (e *engine) forwardStage(combined bool) error {
 			return nil
 		}
 		// The forward point's LTE feedback still guides the next step.
-		e.discarded++
-		e.lteRejects++
-		e.h = e.ctrl.ShrinkOnReject(fwd.co.H0, lteAgainst(fwd), fwd.co.Order)
+		fwdNorm := lteAgainst(fwd)
+		e.noteDiscards(t2, 1)
+		e.noteReject(t2, fwd.co.H0, fwdNorm)
+		e.h = e.ctrl.ShrinkOnReject(fwd.co.H0, fwdNorm, fwd.co.Order)
 		return nil
 	}
-	e.discarded++
+	e.noteDiscards(t2, 1)
 	e.nextStep(h0, accepted, mainNorm, main.co.H1)
 	return nil
 }
@@ -207,6 +211,49 @@ func boolCount(b bool) int {
 		return 1
 	}
 	return 0
+}
+
+// notePhaseAOccupancy publishes worker-occupancy spans for the forward
+// stage's first parallel round (main solve, optional backward point, the
+// speculative warm starts), matching the worker→solver assignment above.
+func (e *engine) notePhaseAOccupancy(t float64, back1, fwd, back2 bool) {
+	if !e.tr.Active() {
+		return
+	}
+	emit := func(w int) {
+		e.tr.Emit(trace.Event{
+			Kind: trace.KindWorker, T: t, Worker: int16(w),
+			Stage: int32(e.stages), Dur: e.solvers[w].LastNanos,
+		})
+	}
+	emit(0)
+	if back1 {
+		emit(2)
+	}
+	if fwd {
+		emit(1)
+	}
+	if back2 {
+		emit(3)
+	}
+}
+
+// notePhaseBOccupancy publishes the second round's spans: the corrective
+// forward solve and the optional backward point under it.
+func (e *engine) notePhaseBOccupancy(t float64, back2 bool) {
+	if !e.tr.Active() {
+		return
+	}
+	e.tr.Emit(trace.Event{
+		Kind: trace.KindWorker, T: t, Worker: 1,
+		Stage: int32(e.stages), Dur: e.solvers[1].LastNanos,
+	})
+	if back2 {
+		e.tr.Emit(trace.Event{
+			Kind: trace.KindWorker, T: t, Worker: 3,
+			Stage: int32(e.stages), Dur: e.solvers[3].LastNanos,
+		})
+	}
 }
 
 // phaseACrit returns the critical-path time of the stage's first parallel

@@ -34,11 +34,13 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"time"
 
 	"wavepipe/internal/circuit"
 	"wavepipe/internal/faults"
 	"wavepipe/internal/integrate"
 	"wavepipe/internal/num"
+	"wavepipe/internal/trace"
 	"wavepipe/internal/transient"
 	"wavepipe/internal/waveform"
 )
@@ -142,6 +144,7 @@ func Run(sys *circuit.System, opts Options) (*transient.Result, error) {
 		seq: runtime.GOMAXPROCS(0) < opts.Threads && !opts.ForceParallelWorkers,
 		rl:  &transient.RecoveryLog{},
 		flt: base.Faults,
+		tr:  base.Trace,
 	}
 	for i := 0; i < opts.Threads; i++ {
 		s := transient.NewPointSolver(sys, base.Method, base.Newton, base.Gmin)
@@ -151,6 +154,7 @@ func Run(sys *circuit.System, opts Options) (*transient.Result, error) {
 			s.WS.SetLoadMode(base.LoadMode)
 		}
 		s.WS.Solver.BypassTol = base.BypassTol
+		s.SetTrace(base.Trace, int16(i))
 		e.solvers = append(e.solvers, s)
 	}
 
@@ -167,6 +171,16 @@ func Run(sys *circuit.System, opts Options) (*transient.Result, error) {
 	e.afterBreak = true
 
 	for e.t() < base.TStop*(1-1e-12) {
+		if base.Ctx != nil {
+			select {
+			case <-base.Ctx.Done():
+				if e.tr.Active() {
+					e.tr.Emit(trace.Event{Kind: trace.KindCancel, T: e.t(), Worker: -1, Stage: int32(e.stages)})
+				}
+				return e.result(), transient.CancelError("wavepipe", e.t())
+			default:
+			}
+		}
 		if e.points >= base.MaxPoints {
 			return e.result(), fmt.Errorf("wavepipe: exceeded %d points at t=%g", base.MaxPoints, e.t())
 		}
@@ -246,6 +260,12 @@ type engine struct {
 	flt        *faults.Injector
 	degraded   int
 	failStreak int
+
+	// tr is the run's event stream (nil when untraced; every emission site
+	// is nil-safe). Counter-bearing emissions go through the accept /
+	// noteDiscards / noteReject / degrade helpers so the trace can never
+	// diverge from the Stats counters.
+	tr *trace.Tracer
 
 	points         int
 	lteRejects     int
@@ -345,16 +365,69 @@ func (e *engine) lteNorm(res pointResult) float64 {
 func (e *engine) lteNormAgainst(hist *integrate.History, res pointResult) float64 {
 	e.ltePts = hist.AppendSpacedTail(e.ltePts[:0], res.co.Order+1, res.co.H0/4)
 	e.ltePts = append(e.ltePts, res.pt)
+	if e.tr.Active() {
+		t0 := time.Now()
+		norm := e.ctrl.CheckLTEWith(e.base.Method, res.co.Order, e.ltePts, res.co.H0, res.co.H1, &e.lteScr)
+		e.tr.Emit(trace.Event{
+			Kind: trace.KindPhase, Phase: trace.PhaseLTE, T: res.pt.T, Norm: norm,
+			Worker: -1, Stage: int32(e.stages), Dur: time.Since(t0).Nanoseconds(),
+		})
+		return norm
+	}
 	return e.ctrl.CheckLTEWith(e.base.Method, res.co.Order, e.ltePts, res.co.H0, res.co.H1, &e.lteScr)
 }
 
 // accept publishes a point into the history and the waveform set. Any
 // accepted point is progress, so the failure streak resets.
 func (e *engine) accept(pt *integrate.Point) {
+	if e.tr.Active() {
+		e.tr.Emit(trace.Event{
+			Kind: trace.KindAccept, T: pt.T, H: pt.T - e.hist.Last().T,
+			Worker: -1, Stage: int32(e.stages),
+		})
+	}
 	e.hist.Add(pt)
 	e.w.Append(pt.T, pt.X)
 	e.points++
 	e.failStreak = 0
+}
+
+// noteDiscards counts n speculative points thrown away unused, pairing each
+// Stats.Discarded increment with one KindDiscard event.
+func (e *engine) noteDiscards(t float64, n int) {
+	e.discarded += n
+	if e.tr.Active() {
+		for i := 0; i < n; i++ {
+			e.tr.Emit(trace.Event{Kind: trace.KindDiscard, T: t, Worker: -1, Stage: int32(e.stages)})
+		}
+	}
+}
+
+// noteReject counts one LTE rejection, pairing the Stats.LTERejects
+// increment with one KindLTEReject event.
+func (e *engine) noteReject(t, h, norm float64) {
+	e.lteRejects++
+	if e.tr.Active() {
+		e.tr.Emit(trace.Event{
+			Kind: trace.KindLTEReject, T: t, H: h, Norm: norm,
+			Worker: -1, Stage: int32(e.stages),
+		})
+	}
+}
+
+// noteOccupancy publishes one worker-occupancy span for each solver that
+// participated in the just-joined parallel round (tasks i < n), using the
+// solver's modeled compute time as the span length.
+func (e *engine) noteOccupancy(t float64, n int) {
+	if !e.tr.Active() {
+		return
+	}
+	for i := 0; i < n && i < len(e.solvers); i++ {
+		e.tr.Emit(trace.Event{
+			Kind: trace.KindWorker, T: t, Worker: int16(i),
+			Stage: int32(e.stages), Dur: e.solvers[i].LastNanos,
+		})
+	}
 }
 
 // degradeWindow is how many serial stages the pipeline runs after a
@@ -366,6 +439,12 @@ const degradeWindow = 8
 func (e *engine) degrade(reason string) {
 	if e.degraded == 0 {
 		e.rl.Note(e.t(), transient.RecoverySerialFallback, reason)
+		if e.tr.Active() {
+			e.tr.Emit(trace.Event{
+				Kind: trace.KindSerialFallback, T: e.t(), Worker: -1,
+				Stage: int32(e.stages), Detail: reason,
+			})
+		}
 	}
 	e.degraded = degradeWindow
 }
@@ -437,10 +516,11 @@ func (e *engine) serialStage() error {
 		}
 	}
 	e.critNanos += e.solvers[0].LastNanos
+	e.noteOccupancy(tNew, 1)
 	res := pointResult{pt: pt, co: co}
 	norm := e.lteNorm(res)
 	if norm > 1 && co.H0 > e.ctrl.HMin*1.01 && !e.afterBreak {
-		e.lteRejects++
+		e.noteReject(tNew, co.H0, norm)
 		e.h = e.ctrl.ShrinkOnReject(co.H0, norm, co.Order)
 		return nil
 	}
@@ -580,10 +660,11 @@ func (e *engine) backwardStage() error {
 		}
 	}
 	e.critNanos += stageCrit
+	e.noteOccupancy(tMain, len(targets))
 
 	main := results[len(results)-1]
 	if main.err != nil {
-		e.discarded += len(targets) - 1
+		e.noteDiscards(tMain, len(targets)-1)
 		if !errors.Is(main.err, faults.ErrWorkerPanic) {
 			// A panicked main worker is not a step-size problem; the
 			// scheduled serial fallback simply redoes the point. Newton
@@ -594,8 +675,8 @@ func (e *engine) backwardStage() error {
 	}
 	mainNorm := e.lteNorm(main)
 	if mainNorm > 1 && main.co.H0 > e.ctrl.HMin*1.01 && !e.afterBreak {
-		e.lteRejects++
-		e.discarded += len(targets) - 1
+		e.noteReject(tMain, main.co.H0, mainNorm)
+		e.noteDiscards(tMain, len(targets)-1)
 		e.h = e.ctrl.ShrinkOnReject(main.co.H0, mainNorm, main.co.Order)
 		return nil
 	}
@@ -622,7 +703,7 @@ func (e *engine) backwardStage() error {
 			e.accept(r.pt)
 			accepted++
 		} else {
-			e.discarded++
+			e.noteDiscards(targets[i], 1)
 		}
 	}
 	e.accept(main.pt)

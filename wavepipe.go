@@ -20,13 +20,17 @@
 package wavepipe
 
 import (
+	"context"
 	"fmt"
+	"io"
+	"math"
 
 	"wavepipe/internal/circuit"
 	"wavepipe/internal/device"
 	"wavepipe/internal/faults"
 	"wavepipe/internal/integrate"
 	"wavepipe/internal/netlist"
+	"wavepipe/internal/trace"
 	"wavepipe/internal/transient"
 	"wavepipe/internal/waveform"
 	wpcore "wavepipe/internal/wavepipe"
@@ -61,8 +65,6 @@ type (
 	Deviation = waveform.Deviation
 	// Stats aggregates the work a run performed.
 	Stats = transient.Stats
-	// Deck is a parsed SPICE netlist.
-	Deck = netlist.Deck
 	// TranSpec is a parsed .TRAN directive.
 	TranSpec = netlist.TranSpec
 	// SimError is the typed simulation error: phase, time point and (when
@@ -97,6 +99,10 @@ var (
 	ErrNonFinite     = faults.ErrNonFinite
 	ErrStepTooSmall  = faults.ErrStepTooSmall
 	ErrWorkerPanic   = faults.ErrWorkerPanic
+	// ErrCanceled is returned (wrapped in a SimError) by RunTransientCtx
+	// when the context is canceled mid-run; the partial Result up to the
+	// last completed time point is returned alongside it.
+	ErrCanceled = faults.ErrCanceled
 )
 
 // NewFaultInjector builds a fault harness from the given rules.
@@ -168,12 +174,78 @@ func (s Scheme) String() string {
 // NewCircuit returns an empty circuit with the given title.
 func NewCircuit(title string) *Circuit { return circuit.New(title) }
 
+// Deck is a parsed SPICE netlist: the circuit plus its analysis cards
+// (.TRAN/.AC/.DC), initial conditions and .OPTIONS. It is a facade-defined
+// type over the internal parser's deck so deck-level helpers (Build,
+// ApplyTo) live on the public API.
+type Deck netlist.Deck
+
+// nl views the deck as the internal parser type.
+func (d *Deck) nl() *netlist.Deck { return (*netlist.Deck)(d) }
+
+// Build compiles the deck's circuit into a simulatable System.
+func (d *Deck) Build() (*System, error) { return d.Circuit.Build() }
+
+// FindSource returns the named independent voltage source (for .DC sweeps);
+// names are case-insensitive.
+func (d *Deck) FindSource(name string) (*device.VSource, bool) {
+	return d.nl().FindSource(name)
+}
+
+// ApplyTo merges the deck's analysis cards into opts, following the CLI's
+// precedence rules — explicitly set TranOptions fields always win over deck
+// cards:
+//
+//   - TStop: kept if positive, else taken from .TRAN (error if neither).
+//   - UIC: true if set in either place.
+//   - MaxStep: kept if positive, else .TRAN's TMax when present.
+//   - RelTol/AbsTol: kept if positive, else .OPTIONS reltol/abstol.
+//   - IC/NodeSet: kept if non-nil, else the deck's .IC/.NODESET maps.
+//
+// The receiver is not modified; the merged options are returned.
+func (d *Deck) ApplyTo(opts TranOptions) (TranOptions, error) {
+	if opts.TStop <= 0 {
+		if d.Tran == nil {
+			return opts, fmt.Errorf("wavepipe: deck has no .TRAN and no TStop given")
+		}
+		opts.TStop = d.Tran.TStop
+	}
+	if d.Tran != nil {
+		if opts.UIC || d.Tran.UIC {
+			opts.UIC = true
+		}
+		if opts.MaxStep <= 0 && d.Tran.TMax > 0 {
+			opts.MaxStep = d.Tran.TMax
+		}
+	}
+	if opts.RelTol <= 0 {
+		if v, ok := d.Options["reltol"]; ok {
+			opts.RelTol = v
+		}
+	}
+	if opts.AbsTol <= 0 {
+		if v, ok := d.Options["abstol"]; ok {
+			opts.AbsTol = v
+		}
+	}
+	if len(d.ICs) > 0 && opts.IC == nil {
+		opts.IC = d.ICs
+	}
+	if len(d.NodeSets) > 0 && opts.NodeSet == nil {
+		opts.NodeSet = d.NodeSets
+	}
+	return opts, nil
+}
+
 // ParseDeck parses SPICE netlist text.
-func ParseDeck(src string) (*Deck, error) { return netlist.Parse(src) }
+func ParseDeck(src string) (*Deck, error) {
+	d, err := netlist.Parse(src)
+	return (*Deck)(d), err
+}
 
 // WriteDeck renders a deck back to SPICE text.
-func WriteDeck(w interface{ Write([]byte) (int, error) }, d *Deck) error {
-	return netlist.Write(w, d)
+func WriteDeck(w io.Writer, d *Deck) error {
+	return netlist.Write(w, d.nl())
 }
 
 // DefaultDiodeModel returns SPICE default diode parameters.
@@ -272,6 +344,38 @@ type TranOptions struct {
 	// Faults injects deterministic solver faults for robustness testing
 	// (nil in production runs).
 	Faults *FaultInjector
+	// Observer, when non-nil, receives the run's structured telemetry:
+	// per-point events (predict/solve/accept/LTE-reject/discard/recovery/
+	// serial-fallback), per-phase solve timings and periodic metrics
+	// snapshots. See NewTraceRecorder, NewTraceMetrics and MultiObserver
+	// for ready-made observers. Nil (the default) keeps the engines'
+	// hot path free of allocations, locks and clock reads.
+	Observer Observer
+	// SnapshotEvery is the metrics snapshot cadence in accepted points
+	// (default 128; only meaningful with an Observer).
+	SnapshotEvery int
+}
+
+// validate rejects option values that would otherwise flow silently into
+// the engines and corrupt a run (the engines clamp what they can, but
+// nonsense deserves a loud answer at the API boundary).
+func (o TranOptions) validate() error {
+	if o.Threads < 0 {
+		return fmt.Errorf("wavepipe: Threads must not be negative (got %d)", o.Threads)
+	}
+	if o.Threads > 1024 {
+		return fmt.Errorf("wavepipe: Threads %d is not a plausible worker count (max 1024)", o.Threads)
+	}
+	if math.IsNaN(o.DeltaRatio) {
+		return fmt.Errorf("wavepipe: DeltaRatio must not be NaN")
+	}
+	if o.DeltaRatio < 0 {
+		return fmt.Errorf("wavepipe: DeltaRatio must not be negative (got %g): the backward offset δ = DeltaRatio·h must stay inside the step", o.DeltaRatio)
+	}
+	if o.DeltaRatio >= 1 {
+		return fmt.Errorf("wavepipe: DeltaRatio %g must be below 1: a backward point at δ ≥ h would precede the current time", o.DeltaRatio)
+	}
+	return nil
 }
 
 // Result is the outcome of a transient analysis.
@@ -282,12 +386,27 @@ func Compare(a, ref *Set, signal string) (Deviation, error) {
 	return waveform.Compare(a, ref, signal)
 }
 
-// RunTransient simulates sys with the selected engine.
+// RunTransient simulates sys with the selected engine. It is shorthand for
+// RunTransientCtx with a background context.
 func RunTransient(sys *System, opts TranOptions) (*Result, error) {
+	return RunTransientCtx(context.Background(), sys, opts)
+}
+
+// RunTransientCtx simulates sys with the selected engine under a context.
+// Cancellation is honoured at every time-point boundary: the partial Result
+// computed so far is returned together with a typed error satisfying
+// errors.Is(err, ErrCanceled). When opts.Observer is non-nil the run streams
+// structured telemetry into it (see TranOptions.Observer).
+func RunTransientCtx(ctx context.Context, sys *System, opts TranOptions) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	base, err := baseOptions(sys, opts)
 	if err != nil {
 		return nil, err
 	}
+	base.Ctx = ctx
+	base.Trace = trace.New(opts.Observer, opts.SnapshotEvery)
 	switch opts.Scheme {
 	case Serial:
 		return transient.Run(sys, base)
@@ -319,43 +438,23 @@ func RunTransient(sys *System, opts TranOptions) (*Result, error) {
 }
 
 // RunDeck builds and simulates a parsed deck, honouring its .TRAN, .IC and
-// .OPTIONS cards (explicit TranOptions fields win over deck options).
+// .OPTIONS cards (explicit TranOptions fields win over deck options; see
+// Deck.ApplyTo for the precedence rules).
 func RunDeck(d *Deck, opts TranOptions) (*Result, error) {
-	sys, err := d.Circuit.Build()
+	return RunDeckCtx(context.Background(), d, opts)
+}
+
+// RunDeckCtx is RunDeck under a context (see RunTransientCtx).
+func RunDeckCtx(ctx context.Context, d *Deck, opts TranOptions) (*Result, error) {
+	sys, err := d.Build()
 	if err != nil {
 		return nil, err
 	}
-	if opts.TStop <= 0 {
-		if d.Tran == nil {
-			return nil, fmt.Errorf("wavepipe: deck has no .TRAN and no TStop given")
-		}
-		opts.TStop = d.Tran.TStop
+	opts, err = d.ApplyTo(opts)
+	if err != nil {
+		return nil, err
 	}
-	if d.Tran != nil {
-		if opts.UIC || d.Tran.UIC {
-			opts.UIC = true
-		}
-		if opts.MaxStep <= 0 && d.Tran.TMax > 0 {
-			opts.MaxStep = d.Tran.TMax
-		}
-	}
-	if opts.RelTol <= 0 {
-		if v, ok := d.Options["reltol"]; ok {
-			opts.RelTol = v
-		}
-	}
-	if opts.AbsTol <= 0 {
-		if v, ok := d.Options["abstol"]; ok {
-			opts.AbsTol = v
-		}
-	}
-	if len(d.ICs) > 0 && opts.IC == nil {
-		opts.IC = d.ICs
-	}
-	if len(d.NodeSets) > 0 && opts.NodeSet == nil {
-		opts.NodeSet = d.NodeSets
-	}
-	return RunTransient(sys, opts)
+	return RunTransientCtx(ctx, sys, opts)
 }
 
 // baseOptions translates facade options into engine options, resolving node

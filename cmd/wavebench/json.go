@@ -20,6 +20,7 @@ import (
 type benchMetrics struct {
 	Circuit                string  `json:"circuit"`
 	Scheme                 string  `json:"scheme"`
+	GOMAXPROCS             int     `json:"gomaxprocs"`
 	NsPerOp                int64   `json:"ns_per_op"`
 	AllocsPerOp            uint64  `json:"allocs_per_op"`
 	Points                 int     `json:"points"`
@@ -35,6 +36,11 @@ type benchMetrics struct {
 	// LoadReductionNs is what one device-load call saves under the colored
 	// direct-stamp path relative to shard-and-reduce at 4 workers.
 	LoadReductionNs int64 `json:"load_reduction_ns"`
+	// Two-level scheduling metadata (zero values when -cores is unset).
+	CoreBudget         int  `json:"core_budget"`
+	PipelineWorkers    int  `json:"pipeline_workers"`
+	IntraWorkers       int  `json:"intra_workers"`
+	PipelineSerialized bool `json:"pipeline_serialized"`
 }
 
 // measureLoadNs returns the fastest observed wall time of one full device
@@ -66,7 +72,7 @@ func measureLoadNs(sys *circuit.System, mode circuit.LoadMode, workers int) int6
 
 // jsonMetrics runs the selected circuit once per configuration and emits a
 // JSON array of benchMetrics on stdout.
-func jsonMetrics(benchName string, bypassTol float64) error {
+func jsonMetrics(benchName string, bypassTol float64, coreBudget int) error {
 	var records []benchMetrics
 	for _, b := range circuits.Suite() {
 		if benchName != "all" && b.Name != benchName {
@@ -80,9 +86,10 @@ func jsonMetrics(benchName string, bypassTol float64) error {
 		loadSharded := measureLoadNs(sys, circuit.LoadSharded, 4)
 		loadColored := measureLoadNs(sys, circuit.LoadColored, 4)
 		opts := wavepipe.TranOptions{
-			TStop:     window(b),
-			Record:    []string{b.Probe},
-			BypassTol: bypassTol,
+			TStop:      window(b),
+			Record:     []string{b.Probe},
+			BypassTol:  bypassTol,
+			CoreBudget: coreBudget,
 		}
 		var ms0, ms1 runtime.MemStats
 		runtime.GC()
@@ -97,6 +104,7 @@ func jsonMetrics(benchName string, bypassTol float64) error {
 		records = append(records, benchMetrics{
 			Circuit:                b.Name,
 			Scheme:                 "serial",
+			GOMAXPROCS:             runtime.GOMAXPROCS(0),
 			NsPerOp:                wall.Nanoseconds(),
 			AllocsPerOp:            ms1.Mallocs - ms0.Mallocs,
 			Points:                 res.Stats.Points,
@@ -110,6 +118,10 @@ func jsonMetrics(benchName string, bypassTol float64) error {
 			LoadSharded4Ns:         loadSharded,
 			LoadColored4Ns:         loadColored,
 			LoadReductionNs:        loadSharded - loadColored,
+			CoreBudget:             res.Stats.CoreBudget,
+			PipelineWorkers:        res.Stats.PipelineWorkers,
+			IntraWorkers:           res.Stats.IntraWorkers,
+			PipelineSerialized:     res.Stats.PipelineSerialized,
 		})
 	}
 	if len(records) == 0 {
@@ -118,6 +130,103 @@ func jsonMetrics(benchName string, bypassTol float64) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(records)
+}
+
+// coreScaleRecord is one point of the core-budget scaling sweep.
+type coreScaleRecord struct {
+	Circuit            string  `json:"circuit"`
+	GOMAXPROCS         int     `json:"gomaxprocs"`
+	Scheme             string  `json:"scheme"`
+	CoreBudget         int     `json:"core_budget"`
+	PipelineWorkers    int     `json:"pipeline_workers"`
+	IntraWorkers       int     `json:"intra_workers"`
+	PipelineSerialized bool    `json:"pipeline_serialized"`
+	WallNs             int64   `json:"wall_ns"`
+	CriticalNs         int64   `json:"critical_ns"`
+	Speedup            float64 `json:"speedup"`
+}
+
+// figCoreScale sweeps the core budget from 1 to maxCores on one circuit:
+// budget 1 is the serial baseline; larger budgets run the combined WavePipe
+// scheme with 2-4 pipeline workers and hand the remainder to the intra-point
+// gangs. Speedups use the critical-path timing model, so the sweep is
+// meaningful (if noisier) even on hosts with fewer physical cores than the
+// budget — the recorded GOMAXPROCS and pipeline_serialized fields say how
+// much of each point was measured concurrently.
+func figCoreScale(benchName string, maxCores int, jsonOut bool) error {
+	if maxCores <= 0 {
+		maxCores = runtime.NumCPU()
+	}
+	b, ok := findBench(benchName)
+	if !ok {
+		return fmt.Errorf("no benchmark circuit %q", benchName)
+	}
+	sys, err := build(b)
+	if err != nil {
+		return err
+	}
+	base := wavepipe.TranOptions{TStop: window(b), Record: []string{b.Probe}}
+	var records []coreScaleRecord
+	var serialCrit int64
+	for budget := 1; budget <= maxCores; budget++ {
+		opts := base
+		opts.CoreBudget = budget
+		if budget == 1 {
+			opts.Scheme = wavepipe.Serial
+		} else {
+			opts.Scheme = wavepipe.Combined
+			// Split policy: below 8 cores the pipeline gets everything
+			// (gangs of 2-3 rarely clear the level-schedule profitability
+			// gate, so they would idle); from 8 cores on, trade pipeline
+			// width for gang width — the mesh circuits' LU schedules only
+			// go parallel at gang width >= 4, and a 2-wide pipeline with
+			// 4-wide gangs beats a 4-wide pipeline with 2-wide gangs
+			// (grid32: 1046 ms vs 1597 ms critical path).
+			th := budget
+			if budget >= 8 {
+				th = budget / 4
+			}
+			if th > 4 {
+				th = 4
+			}
+			if th < 2 {
+				th = 2
+			}
+			opts.Threads = th
+		}
+		wall, res, err := timed(sys, opts)
+		if err != nil {
+			return err
+		}
+		if budget == 1 {
+			serialCrit = res.Stats.CriticalNanos
+		}
+		records = append(records, coreScaleRecord{
+			Circuit:            b.Name,
+			GOMAXPROCS:         runtime.GOMAXPROCS(0),
+			Scheme:             opts.Scheme.String(),
+			CoreBudget:         budget,
+			PipelineWorkers:    res.Stats.PipelineWorkers,
+			IntraWorkers:       res.Stats.IntraWorkers,
+			PipelineSerialized: res.Stats.PipelineSerialized,
+			WallNs:             wall.Nanoseconds(),
+			CriticalNs:         res.Stats.CriticalNanos,
+			Speedup:            float64(serialCrit) / float64(res.Stats.CriticalNanos),
+		})
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(records)
+	}
+	fmt.Printf("Figure F7: speedup vs core budget (%s, GOMAXPROCS=%d)\n", b.Name, runtime.GOMAXPROCS(0))
+	fmt.Println("budget,scheme,pipeline,intra,serialized,wall_ms,crit_ms,speedup")
+	for _, r := range records {
+		fmt.Printf("%d,%s,%d,%d,%v,%.2f,%.2f,%.2f\n",
+			r.CoreBudget, r.Scheme, r.PipelineWorkers, r.IntraWorkers, r.PipelineSerialized,
+			float64(r.WallNs)/1e6, float64(r.CriticalNs)/1e6, r.Speedup)
+	}
+	return nil
 }
 
 // figLoadScale prints the sharded-vs-colored assembly comparison: one full

@@ -40,11 +40,13 @@ var (
 
 func main() {
 	table := flag.Int("table", 0, "regenerate table N (1-4)")
-	fig := flag.String("fig", "", "regenerate figure: stepsize, accuracy, scaling, work, fwp, ablation, loadscale")
+	fig := flag.String("fig", "", "regenerate figure: stepsize, accuracy, scaling, work, fwp, ablation, loadscale, corescale")
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON metrics (see -bench, -bypasstol)")
-	benchName := flag.String("bench", "grid16", "circuit for -json (a suite name, or all)")
+	benchName := flag.String("bench", "grid16", "circuit for -json and -fig corescale (a suite name, or all)")
 	bypassTol := flag.Float64("bypasstol", 0, "factorization-bypass tolerance for the -json run")
+	cores := flag.Int("cores", 0, "core budget for the -json run (0 = unmanaged)")
+	maxCores := flag.Int("maxcores", 0, "largest core budget for -fig corescale (0 = NumCPU)")
 	flag.Parse()
 
 	var traceRec *wavepipe.TraceRecorder
@@ -81,8 +83,17 @@ func main() {
 		}
 	}()
 
+	// corescale is resolved before the -json early return: with -json it
+	// emits the sweep as JSON records instead of CSV text.
+	if *fig == "corescale" {
+		if err := figCoreScale(*benchName, *maxCores, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "wavebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *jsonOut {
-		if err := jsonMetrics(*benchName, *bypassTol); err != nil {
+		if err := jsonMetrics(*benchName, *bypassTol, *cores); err != nil {
 			fmt.Fprintln(os.Stderr, "wavebench:", err)
 			os.Exit(1)
 		}

@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	wavesim [-analysis tran] [-scheme combined] [-threads 4] [-tstop 1u]
-//	        [-probe out,in] [-method gear2] [-o out.csv] [-stats]
+//	wavesim [-analysis tran] [-scheme combined] [-threads 4] [-cores 8]
+//	        [-tstop 1u] [-probe out,in] [-method gear2] [-o out.csv] [-stats]
 //	        [-trace run.json] [-metrics-addr :8123] deck.sp
 //	wavesim -analysis ac deck.sp     # uses the deck's .AC card
 //	wavesim -analysis dc deck.sp     # uses the deck's .DC card
@@ -90,6 +90,7 @@ type runConfig struct {
 	tracePath   string
 	metricsAddr string
 	threads     int
+	cores       int
 	bypassTol   float64
 	stats       bool
 }
@@ -99,6 +100,7 @@ func main() {
 	flag.StringVar(&cfg.analysis, "analysis", "tran", "analysis: tran, ac, dc")
 	flag.StringVar(&cfg.scheme, "scheme", "serial", "engine: serial, backward, forward, combined, finegrain")
 	flag.IntVar(&cfg.threads, "threads", 0, "worker threads for parallel schemes (0 = scheme default)")
+	flag.IntVar(&cfg.cores, "cores", 0, "total core budget shared by pipeline workers and intra-point gangs (0 = unmanaged)")
 	flag.StringVar(&cfg.tstop, "tstop", "", "override the deck's .TRAN stop time (SPICE units, e.g. 10u)")
 	flag.StringVar(&cfg.method, "method", "gear2", "integration method: gear2, trap, be")
 	flag.StringVar(&cfg.probes, "probe", "", "comma-separated node names to record (default: all nodes)")
@@ -220,7 +222,7 @@ func run(ctx context.Context, cfg runConfig) error {
 		return fmt.Errorf("unknown analysis %q", cfg.analysis)
 	}
 
-	opts := wavepipe.TranOptions{Threads: cfg.threads, BypassTol: cfg.bypassTol}
+	opts := wavepipe.TranOptions{Threads: cfg.threads, CoreBudget: cfg.cores, BypassTol: cfg.bypassTol}
 	switch strings.ToLower(cfg.loadMode) {
 	case "auto", "":
 		opts.LoadMode = wavepipe.LoadAuto
@@ -324,6 +326,12 @@ func run(ctx context.Context, cfg runConfig) error {
 			res.Stats.NRIters, res.Stats.LTERejects, res.Stats.Discarded,
 			res.Stats.Recoveries, res.Stats.FullFactorizations, res.Stats.Refactorizations,
 			res.Stats.BypassedFactorizations, wall.Round(time.Microsecond))
+		if res.Stats.CoreBudget > 0 {
+			fmt.Fprintf(os.Stderr,
+				"wavesim: core budget %d split as %d pipeline x %d intra (pipeline serialized: %v)\n",
+				res.Stats.CoreBudget, res.Stats.PipelineWorkers, res.Stats.IntraWorkers,
+				res.Stats.PipelineSerialized)
+		}
 		for _, e := range res.Recovery.Events() {
 			fmt.Fprintf(os.Stderr, "wavesim:   recovery at t=%g: %s %s\n", e.T, e.Kind, e.Detail)
 		}

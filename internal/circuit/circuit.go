@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"wavepipe/internal/faults"
+	"wavepipe/internal/sched"
 	"wavepipe/internal/sparse"
 	"wavepipe/internal/trace"
 )
@@ -269,11 +270,35 @@ type Workspace struct {
 	loadWorkers int
 	loadMode    LoadMode
 	shards      []*shard
+	pool        *sched.Pool
 	evalCtx     EvalCtx   // pooled context for the serial load path
 	wctx        []EvalCtx // pooled per-worker contexts for the colored path
-	colorBar    spinBarrier
+	colorBar    sched.Barrier
 	iterSave    []float64 // pooled copy of the Newton iterate (bypass guard)
 }
+
+// SetPool attaches a gang pool (see internal/sched) to the workspace: device
+// loads run across the pool's workers using the Build-time color classes,
+// and the sparse solver executes its level-scheduled LU kernels on the same
+// gang. The pool's width becomes the load worker count. The caller keeps
+// ownership and must Close the pool when the run ends; a nil pool detaches.
+//
+// Unlike SetLoadWorkers, attaching a pool never allocates the sharded
+// matrix clones: when the coloring is unprofitable the load simply stays
+// serial, which keeps results independent of the gang width (colored stamps
+// are bit-identical across worker counts; sharded reductions are not).
+func (ws *Workspace) SetPool(p *sched.Pool) {
+	ws.pool = p
+	ws.Solver.Sched = p
+	if p.Workers() > 1 {
+		ws.loadWorkers = p.Workers()
+	} else if ws.shards == nil {
+		ws.loadWorkers = 1
+	}
+}
+
+// Pool returns the attached gang pool (nil when serial).
+func (ws *Workspace) Pool() *sched.Pool { return ws.pool }
 
 // SaveIterate stashes a copy of the iterate in a pooled workspace buffer.
 // The Newton factorization-bypass guard uses it to rewind a quasi-Newton
@@ -334,10 +359,14 @@ func (ws *Workspace) Load(x []float64, p LoadParams) {
 	if ws.loadWorkers > 1 {
 		if ws.useColored() {
 			ws.loadColored(x, p)
-		} else {
-			ws.loadParallel(x, p)
+			return
 		}
-		return
+		if len(ws.shards) > 0 {
+			ws.loadParallel(x, p)
+			return
+		}
+		// Pool-attached workspace whose coloring is unprofitable: the sharded
+		// clones were never allocated, so assemble serially below.
 	}
 	start := time.Now()
 	defer func() {

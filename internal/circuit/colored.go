@@ -3,7 +3,6 @@ package circuit
 import (
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"wavepipe/internal/sparse"
@@ -183,36 +182,6 @@ func buildColoring(c *Circuit, pattern *sparse.Matrix, n, numStates int, devRows
 	return classes
 }
 
-// spinBarrier is a sense-reversing barrier for the colored load workers.
-// The class phases are short (a slice of device evaluations), so spinning
-// with Gosched beats channel or WaitGroup handoff per class.
-type spinBarrier struct {
-	n     int32
-	count atomic.Int32
-	sense atomic.Uint32
-}
-
-func (b *spinBarrier) reset(n int32) {
-	b.n = n
-	b.count.Store(0)
-	b.sense.Store(0)
-}
-
-// wait blocks until all n workers arrive. localSense must be a per-worker
-// variable starting at 0 and passed to every wait of the same reset cycle.
-func (b *spinBarrier) wait(localSense *uint32) {
-	s := *localSense ^ 1
-	*localSense = s
-	if b.count.Add(1) == b.n {
-		b.count.Store(0)
-		b.sense.Store(s)
-		return
-	}
-	for b.sense.Load() != s {
-		runtime.Gosched()
-	}
-}
-
 // zeroChunk zeroes worker w's contiguous share of v.
 func zeroChunk(v []float64, w, nw int) {
 	s := v[w*len(v)/nw : (w+1)*len(v)/nw]
@@ -221,67 +190,114 @@ func zeroChunk(v []float64, w, nw int) {
 	}
 }
 
-// loadColored performs the colored direct-stamp assembly. On a single-CPU
-// host it degrades to evaluating the classes serially (same accumulation
-// order, so bit-identical results) unless ForceParallelLoad is set.
+// colorWorker is the per-gang-member body of the colored direct-stamp
+// assembly: zero a share of the shared buffers, then stamp a chunk of every
+// color class, with a barrier between phases. It is shared by the pooled
+// path (persistent sched.Pool workers) and the legacy spawn path.
+func (ws *Workspace) colorWorker(w, nw int, x []float64, p LoadParams) {
+	var sense uint32
+	ctx := &ws.wctx[w]
+	*ctx = EvalCtx{
+		X:         x,
+		T:         p.Time,
+		Alpha0:    p.Alpha0,
+		Gmin:      p.Gmin,
+		SrcScale:  p.SrcScale,
+		FirstIter: p.FirstIter,
+		NoLimit:   p.NoLimit,
+		SPrev:     ws.SPrev,
+		SNext:     ws.SNext,
+		m:         ws.M,
+		F:         ws.F,
+		Q:         ws.Q,
+		B:         ws.B,
+	}
+	classes := ws.Sys.colorClasses
+	devices := ws.Sys.Circuit.devices
+	// Phase 0: each worker zeroes its share of the shared buffers.
+	zeroChunk(ws.M.Values, w, nw)
+	zeroChunk(ws.F, w, nw)
+	zeroChunk(ws.Q, w, nw)
+	zeroChunk(ws.B, w, nw)
+	ws.colorBar.Wait(&sense)
+	// One phase per color class: rows are disjoint within the class, so
+	// workers stamp into the shared buffers without synchronization.
+	for _, class := range classes {
+		lo := w * len(class) / nw
+		hi := (w + 1) * len(class) / nw
+		for _, di := range class[lo:hi] {
+			devices[di].Eval(ctx)
+		}
+		ws.colorBar.Wait(&sense)
+		if ws.colorBar.Poisoned() {
+			return
+		}
+	}
+}
+
+// loadColored performs the colored direct-stamp assembly. With an attached
+// gang pool the phases run on the pool's persistent workers; otherwise, on a
+// single-CPU host it degrades to evaluating the classes serially (same
+// accumulation order, so bit-identical results) unless ForceParallelLoad is
+// set, in which case — and on genuinely multi-core hosts without a pool —
+// it spawns transient worker goroutines per load.
 func (ws *Workspace) loadColored(x []float64, p LoadParams) {
+	if ws.pool.Gang() {
+		ws.loadColoredPooled(x, p)
+		return
+	}
 	if runtime.GOMAXPROCS(0) == 1 && !ws.ForceParallelLoad {
 		ws.loadColoredSerial(x, p)
 		return
 	}
 	start := time.Now()
-	classes := ws.Sys.colorClasses
-	devices := ws.Sys.Circuit.devices
 	nw := ws.loadWorkers
 	for len(ws.wctx) < nw {
 		ws.wctx = append(ws.wctx, EvalCtx{})
 	}
-	ws.colorBar.reset(int32(nw))
+	ws.colorBar.Reset(int32(nw))
 	var wg sync.WaitGroup
-	worker := func(w int) {
-		var sense uint32
-		ctx := &ws.wctx[w]
-		*ctx = EvalCtx{
-			X:         x,
-			T:         p.Time,
-			Alpha0:    p.Alpha0,
-			Gmin:      p.Gmin,
-			SrcScale:  p.SrcScale,
-			FirstIter: p.FirstIter,
-			NoLimit:   p.NoLimit,
-			SPrev:     ws.SPrev,
-			SNext:     ws.SNext,
-			m:         ws.M,
-			F:         ws.F,
-			Q:         ws.Q,
-			B:         ws.B,
-		}
-		// Phase 0: each worker zeroes its share of the shared buffers.
-		zeroChunk(ws.M.Values, w, nw)
-		zeroChunk(ws.F, w, nw)
-		zeroChunk(ws.Q, w, nw)
-		zeroChunk(ws.B, w, nw)
-		ws.colorBar.wait(&sense)
-		// One phase per color class: rows are disjoint within the class, so
-		// workers stamp into the shared buffers without synchronization.
-		for _, class := range classes {
-			lo := w * len(class) / nw
-			hi := (w + 1) * len(class) / nw
-			for _, di := range class[lo:hi] {
-				devices[di].Eval(ctx)
-			}
-			ws.colorBar.wait(&sense)
-		}
-	}
 	for w := 1; w < nw; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			worker(w)
+			ws.colorWorker(w, nw, x, p)
 		}(w)
 	}
-	worker(0)
+	ws.colorWorker(0, nw, x, p)
 	wg.Wait()
+	ws.finishColoredParallel(x, p, nw, start)
+}
+
+// loadColoredPooled runs the colored assembly on the attached gang pool's
+// persistent workers: no goroutine spawn per load, and a panicking device
+// poisons the barrier (freeing the gang) before the pool re-raises the panic
+// on the caller, where the engine's panic fences handle it like any serial
+// device panic.
+func (ws *Workspace) loadColoredPooled(x []float64, p LoadParams) {
+	start := time.Now()
+	pool := ws.pool
+	nw := pool.Workers()
+	for len(ws.wctx) < nw {
+		ws.wctx = append(ws.wctx, EvalCtx{})
+	}
+	ws.colorBar.Reset(int32(nw))
+	pool.Run(func(w int) {
+		defer func() {
+			if r := recover(); r != nil {
+				ws.colorBar.Poison()
+				panic(r)
+			}
+		}()
+		ws.colorWorker(w, nw, x, p)
+	})
+	ws.finishColoredParallel(x, p, nw, start)
+}
+
+// finishColoredParallel folds the per-worker limiting flags, applies the
+// coordinator tail and books the timing for a genuinely parallel colored
+// load (wall time is the critical path).
+func (ws *Workspace) finishColoredParallel(x []float64, p LoadParams, nw int, start time.Time) {
 	ws.Limited = false
 	for w := 0; w < nw; w++ {
 		ws.Limited = ws.Limited || ws.wctx[w].Limited
@@ -289,7 +305,6 @@ func (ws *Workspace) loadColored(x []float64, p LoadParams) {
 	ws.finishColored(x, p)
 	d := time.Since(start).Nanoseconds()
 	ws.LoadWallNanos += d
-	// The phases genuinely ran in parallel: wall time is the critical path.
 	ws.LoadCritNanos += d
 }
 

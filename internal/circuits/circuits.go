@@ -389,6 +389,7 @@ func Suite() []Benchmark {
 	return []Benchmark{
 		{Name: "grid16", Kind: "analog", Make: func() *circuit.Circuit { return PowerGridMesh(16, 1.8) }, TStop: 80e-9, Probe: "n8_8"},
 		{Name: "grid24", Kind: "analog", Make: func() *circuit.Circuit { return PowerGridMesh(24, 1.8) }, TStop: 80e-9, Probe: "n12_12"},
+		{Name: "grid32", Kind: "analog", Make: func() *circuit.Circuit { return PowerGridMesh(32, 1.8) }, TStop: 80e-9, Probe: "n16_16"},
 		{Name: "ladder400", Kind: "analog", Make: func() *circuit.Circuit { return RCLadder(400) }, TStop: 100e-9, Probe: "out"},
 		{Name: "rlctree8", Kind: "analog", Make: func() *circuit.Circuit { return RLCTree(8) }, TStop: 40e-9, Probe: "out"},
 		{Name: "rect1k", Kind: "analog", Make: func() *circuit.Circuit { return BridgeRectifier(1e3) }, TStop: 6e-3, Probe: "outp"},

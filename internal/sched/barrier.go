@@ -1,0 +1,70 @@
+package sched
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Barrier is a sense-reversing spin barrier for gangs whose members are
+// pinned to distinct CPUs for microseconds at a time — the level boundaries
+// of the scheduled LU kernels and the color-class boundaries of the parallel
+// device load. sync.WaitGroup costs a futex round-trip per phase, which
+// dwarfs the work inside a small level; spinning with Gosched keeps the
+// latency at a few loads.
+//
+// A barrier is reused across gangs by calling Reset before each one. Each
+// gang member keeps a local sense word (starting at 0) and passes it to
+// every Wait.
+//
+// Poison releases all current and future waiters immediately; it exists so a
+// panicking gang member can free its peers before re-panicking (the pool's
+// recover fence then surfaces the panic to the caller). After a poison the
+// protected data is undefined and the gang must abandon the kernel; Reset
+// clears the poison for the next run.
+//
+// Symmetric participation: every gang member must cross the same sequence of
+// Waits. A member may leave the kernel early only after Poison — never on a
+// shared data flag, because the last arriver at a barrier proceeds instantly
+// and can raise the flag in the next phase before its peers have run their
+// post-barrier check; the peers would then leave without reaching the barrier
+// it is parked at. Error flags must downgrade remaining phases to no-ops
+// instead of skipping their Waits.
+type Barrier struct {
+	n        int32
+	count    atomic.Int32
+	sense    atomic.Uint32
+	poisoned atomic.Bool
+}
+
+// Reset prepares the barrier for a gang of n members and clears any poison.
+func (b *Barrier) Reset(n int32) {
+	b.n = n
+	b.count.Store(0)
+	b.sense.Store(0)
+	b.poisoned.Store(false)
+}
+
+// Wait blocks until all n gang members have arrived (or the barrier is
+// poisoned). sense points at the member's local sense word.
+func (b *Barrier) Wait(sense *uint32) {
+	s := *sense ^ 1
+	*sense = s
+	if b.count.Add(1) == b.n {
+		b.count.Store(0)
+		b.sense.Store(s)
+		return
+	}
+	for b.sense.Load() != s {
+		if b.poisoned.Load() {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// Poison releases every current and future waiter without synchronizing.
+func (b *Barrier) Poison() { b.poisoned.Store(true) }
+
+// Poisoned reports whether the barrier has been poisoned since the last
+// Reset.
+func (b *Barrier) Poisoned() bool { return b.poisoned.Load() }

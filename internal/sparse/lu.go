@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"wavepipe/internal/faults"
+	"wavepipe/internal/sched"
 )
 
 // ErrRefactorPivot is returned by Refactor when a pivot chosen during the
@@ -47,6 +49,13 @@ type LU struct {
 	work      []float64 // Refactor workspace (an LU serves one goroutine)
 	solveWork []float64 // Solve workspace; separate from work, which Refactor
 	// requires to stay zeroed between columns
+
+	// Level-scheduled execution state (see parallel.go): the schedule is
+	// symbolic-pattern metadata cached next to the pattern, parWork holds one
+	// zeroed refactor workspace per gang member, parBar synchronizes levels.
+	lsched  *luSchedule
+	parWork [][]float64
+	parBar  sched.Barrier
 }
 
 // Factorize computes a fresh LU factorization of m using the given column
@@ -246,50 +255,64 @@ func (f *LU) Refactor(m *Matrix) error {
 	}
 	w := f.work // pivot-position space, kept zero between columns
 	for k := 0; k < f.n; k++ {
-		j := f.colPerm[k]
-		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
-			w[f.rowInv[m.RowIdx[p]]] = m.Values[p]
-		}
-		// Forward elimination along the stored U pattern (ascending pivot
-		// positions form a valid topological order for a lower-triangular
-		// dependency structure).
-		for p := f.up[k]; p < f.up[k+1]; p++ {
-			i := f.ui[p]
-			xi := w[i]
-			f.ux[p] = xi
-			if xi == 0 {
-				continue
-			}
-			for q := f.lp[i]; q < f.lp[i+1]; q++ {
-				w[f.li[q]] -= f.lx[q] * xi
-			}
-		}
-		pv := w[k]
-		// Scale test: the pivot must not be degenerate relative to the
-		// column it eliminates.
-		colMax := math.Abs(pv)
-		for q := f.lp[k]; q < f.lp[k+1]; q++ {
-			if a := math.Abs(w[f.li[q]]); a > colMax {
-				colMax = a
-			}
-		}
-		if math.Abs(pv) < tinyPivot || (colMax > 0 && math.Abs(pv) < 1e-14*colMax) {
+		if !f.refactorColumn(m, k, w) {
 			return ErrRefactorPivot
-		}
-		f.ud[k] = pv
-		for q := f.lp[k]; q < f.lp[k+1]; q++ {
-			f.lx[q] = w[f.li[q]] / pv
-		}
-		// Clear exactly the touched positions.
-		for p := f.up[k]; p < f.up[k+1]; p++ {
-			w[f.ui[p]] = 0
-		}
-		w[k] = 0
-		for q := f.lp[k]; q < f.lp[k+1]; q++ {
-			w[f.li[q]] = 0
 		}
 	}
 	return nil
+}
+
+// refactorColumn recomputes column k of the factorization from the values in
+// m, using w (pivot-position space, zero on entry, restored to zero on a
+// true return) as scatter workspace. It reads only L columns from strictly
+// earlier elimination levels and writes only column k's own storage, which
+// is what makes the level-scheduled parallel Refactor both safe and
+// bit-identical to the serial sweep. A false return means the stored pivot
+// went degenerate (ErrRefactorPivot), leaving w and column k dirty.
+func (f *LU) refactorColumn(m *Matrix, k int, w []float64) bool {
+	j := f.colPerm[k]
+	for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+		w[f.rowInv[m.RowIdx[p]]] = m.Values[p]
+	}
+	// Forward elimination along the stored U pattern (ascending pivot
+	// positions form a valid topological order for a lower-triangular
+	// dependency structure).
+	for p := f.up[k]; p < f.up[k+1]; p++ {
+		i := f.ui[p]
+		xi := w[i]
+		f.ux[p] = xi
+		if xi == 0 {
+			continue
+		}
+		for q := f.lp[i]; q < f.lp[i+1]; q++ {
+			w[f.li[q]] -= f.lx[q] * xi
+		}
+	}
+	pv := w[k]
+	// Scale test: the pivot must not be degenerate relative to the
+	// column it eliminates.
+	colMax := math.Abs(pv)
+	for q := f.lp[k]; q < f.lp[k+1]; q++ {
+		if a := math.Abs(w[f.li[q]]); a > colMax {
+			colMax = a
+		}
+	}
+	if math.Abs(pv) < tinyPivot || (colMax > 0 && math.Abs(pv) < 1e-14*colMax) {
+		return false
+	}
+	f.ud[k] = pv
+	for q := f.lp[k]; q < f.lp[k+1]; q++ {
+		f.lx[q] = w[f.li[q]] / pv
+	}
+	// Clear exactly the touched positions.
+	for p := f.up[k]; p < f.up[k+1]; p++ {
+		w[f.ui[p]] = 0
+	}
+	w[k] = 0
+	for q := f.lp[k]; q < f.lp[k+1]; q++ {
+		w[f.li[q]] = 0
+	}
+	return true
 }
 
 // Solve computes x with A·x = b using the factorization. b and x may alias.
@@ -365,6 +388,19 @@ type Solver struct {
 	// produced the current factorization, Factorize keeps the previous LU and
 	// the solve becomes a quasi-Newton step. 0 disables bypass.
 	BypassTol float64
+	// Sched, when non-nil, runs Refactor and the triangular solves
+	// level-scheduled across the pool's gang (see parallel.go). Each pattern
+	// is profitability-gated: chain-like structures with no level width stay
+	// on the serial sweeps. Results are bit-identical either way.
+	Sched *sched.Pool
+
+	// LUWallNanos and LUCritNanos accumulate the wall-clock time and the
+	// modeled parallel critical-path time of the schedulable factorization
+	// work. On hosts without real spare cores the kernels degrade to their
+	// serial forms and the critical path is modeled from the schedule's
+	// chunk geometry, mirroring the device-load accounting in circuit.
+	LUWallNanos int64
+	LUCritNanos int64
 
 	lu      *LU
 	scratch []float64
@@ -411,7 +447,7 @@ func (s *Solver) Factorize() error {
 func (s *Solver) FactorizeFresh() error {
 	s.LastBypassed = false
 	if s.lu != nil {
-		if err := s.lu.Refactor(s.M); err == nil {
+		if err := s.refactor(); err == nil {
 			s.Refactorizations++
 			s.snapshotValues()
 			return nil
@@ -469,6 +505,58 @@ func maxRelChange(old, new []float64) float64 {
 	return maxRel
 }
 
+// refactor runs the numeric-only refactorization, level-scheduled across the
+// attached pool when the pattern has enough parallel width. On a degraded
+// pool (no spare CPUs) the serial sweep runs instead — bit-identical, since
+// per-column arithmetic is order-independent — and the parallel critical
+// path is modeled from the schedule geometry.
+func (s *Solver) refactor() error {
+	if s.Sched.Workers() > 1 {
+		if sc := s.lu.schedule(s.Sched.Workers()); sc.refPar {
+			start := time.Now()
+			var err error
+			gang := s.Sched.Gang()
+			if gang {
+				err = s.lu.RefactorParallel(s.M, s.Sched)
+			} else {
+				err = s.lu.Refactor(s.M)
+			}
+			wall := time.Since(start).Nanoseconds()
+			s.LUWallNanos += wall
+			if gang {
+				s.LUCritNanos += wall
+			} else {
+				s.LUCritNanos += int64(float64(wall) * sc.refFrac)
+			}
+			return err
+		}
+	}
+	return s.lu.Refactor(s.M)
+}
+
+// solveVec applies the factorization to one right-hand side, routing through
+// the level-scheduled parallel solve when it is attached and profitable.
+func (s *Solver) solveVec(b, x []float64) {
+	if s.Sched.Workers() > 1 {
+		if sc := s.lu.schedule(s.Sched.Workers()); sc.solvePar {
+			start := time.Now()
+			if gang := s.Sched.Gang(); gang {
+				s.lu.SolveParallelWith(b, x, s.scratch, s.Sched)
+				wall := time.Since(start).Nanoseconds()
+				s.LUWallNanos += wall
+				s.LUCritNanos += wall
+			} else {
+				s.lu.SolveWith(b, x, s.scratch)
+				wall := time.Since(start).Nanoseconds()
+				s.LUWallNanos += wall
+				s.LUCritNanos += int64(float64(wall) * sc.solveFrac)
+			}
+			return
+		}
+	}
+	s.lu.SolveWith(b, x, s.scratch)
+}
+
 // Solve computes x with A·x = b for the most recent factorization.
 func (s *Solver) Solve(b, x []float64) error {
 	if s.lu == nil {
@@ -477,7 +565,7 @@ func (s *Solver) Solve(b, x []float64) error {
 	if s.scratch == nil {
 		s.scratch = make([]float64, s.M.N())
 	}
-	s.lu.SolveWith(b, x, s.scratch)
+	s.solveVec(b, x)
 	if s.Refine {
 		if s.resid == nil {
 			s.resid = make([]float64, s.M.N())
@@ -487,7 +575,7 @@ func (s *Solver) Solve(b, x []float64) error {
 		for i := range s.resid {
 			s.resid[i] = b[i] - s.resid[i]
 		}
-		s.lu.SolveWith(s.resid, s.resid, s.scratch)
+		s.solveVec(s.resid, s.resid)
 		for i := range x {
 			x[i] += s.resid[i]
 		}

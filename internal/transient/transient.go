@@ -18,6 +18,7 @@ import (
 	"wavepipe/internal/integrate"
 	"wavepipe/internal/newton"
 	"wavepipe/internal/num"
+	"wavepipe/internal/sched"
 	"wavepipe/internal/trace"
 	"wavepipe/internal/waveform"
 )
@@ -62,6 +63,12 @@ type Options struct {
 	// LoadWorkers > 1 enables fine-grained parallel device evaluation
 	// inside every assembly pass (the conventional parallel-SPICE baseline).
 	LoadWorkers int
+	// CoreBudget > 1 attaches a shared worker gang to the point solver:
+	// colored device loads and the level-scheduled sparse LU kernels run on
+	// one pool of CoreBudget cores (caller included). Results are bit-
+	// identical to the serial path. 0/1 keeps everything serial. Small
+	// systems stay serial regardless (see IntraProfitable).
+	CoreBudget int
 	// LoadMode selects the parallel assembly strategy when LoadWorkers > 1:
 	// automatic, shard-and-reduce, or colored direct stamping.
 	LoadMode circuit.LoadMode
@@ -157,6 +164,14 @@ type Stats struct {
 	// timing model used to report speedups on hosts with fewer cores than
 	// worker threads (see DESIGN.md, hardware substitution).
 	CriticalNanos int64
+	// Two-level scheduling accounting: the core budget the run was given,
+	// how it was split between pipeline workers and intra-point workers,
+	// and whether the pipeline had to serialize because the host (or the
+	// budget) could not actually run the stage gangs concurrently.
+	CoreBudget         int
+	PipelineWorkers    int
+	IntraWorkers       int
+	PipelineSerialized bool
 }
 
 // Add accumulates other into s (used to merge per-worker stats).
@@ -176,6 +191,18 @@ func (s *Stats) Add(other Stats) {
 	s.Refactorizations += other.Refactorizations
 	s.FullFactorizations += other.FullFactorizations
 	s.CriticalNanos += other.CriticalNanos
+	// Scheduling fields describe the run, not per-worker work: keep the
+	// maximum (per-worker stats carry zeros) and OR the serialization flag.
+	if other.CoreBudget > s.CoreBudget {
+		s.CoreBudget = other.CoreBudget
+	}
+	if other.PipelineWorkers > s.PipelineWorkers {
+		s.PipelineWorkers = other.PipelineWorkers
+	}
+	if other.IntraWorkers > s.IntraWorkers {
+		s.IntraWorkers = other.IntraWorkers
+	}
+	s.PipelineSerialized = s.PipelineSerialized || other.PipelineSerialized
 }
 
 // Result is the outcome of a transient analysis. On failure the engines
@@ -385,7 +412,7 @@ func (ps *PointSolver) SolveAt(hist *integrate.History, tNew float64, guess []fl
 // node-to-ground conductance (the recovery ladder's knobs).
 func (ps *PointSolver) solveAtWith(hist *integrate.History, tNew float64, guess []float64, nopts newton.Options, nodeGmin float64) (*integrate.Point, integrate.Coeffs, error) {
 	start := time.Now()
-	defer ps.model(start, ps.WS.LoadWallNanos, ps.WS.LoadCritNanos)
+	defer ps.model(start, ps.WS.LoadWallNanos, ps.WS.LoadCritNanos, ps.WS.Solver.LUWallNanos, ps.WS.Solver.LUCritNanos)
 	co, err := integrate.Compute(ps.Method, hist, tNew, ps.qhist)
 	if err != nil {
 		return nil, co, err
@@ -434,7 +461,7 @@ func (ps *PointSolver) emitSolve(start time.Time, tNew, h float64, iters int, fl
 // predicted history while the true predecessor point is still being solved.
 func (ps *PointSolver) WarmStart(hist *integrate.History, tNew float64, maxIter int) []float64 {
 	start := time.Now()
-	defer ps.model(start, ps.WS.LoadWallNanos, ps.WS.LoadCritNanos)
+	defer ps.model(start, ps.WS.LoadWallNanos, ps.WS.LoadCritNanos, ps.WS.Solver.LUWallNanos, ps.WS.Solver.LUCritNanos)
 	ps.warmValid = false
 	co, err := integrate.Compute(ps.Method, hist, tNew, ps.qhist)
 	if err != nil {
@@ -489,7 +516,7 @@ func (ps *PointSolver) ResumeAt(hist *integrate.History, tNew float64, warm []fl
 		return ps.SolveAt(hist, tNew, warm)
 	}
 	start := time.Now()
-	defer ps.model(start, ps.WS.LoadWallNanos, ps.WS.LoadCritNanos)
+	defer ps.model(start, ps.WS.LoadWallNanos, ps.WS.LoadCritNanos, ps.WS.Solver.LUWallNanos, ps.WS.Solver.LUCritNanos)
 	pt := ps.takePoint()
 	x := pt.X
 	copy(x, warm)
@@ -507,12 +534,16 @@ func (ps *PointSolver) ResumeAt(hist *integrate.History, tNew float64, warm []fl
 	return ps.finishPoint(pt, tNew, co), co, nil
 }
 
-// model records the modeled compute time of the finished call.
-func (ps *PointSolver) model(start time.Time, loadWall0, loadCrit0 int64) {
+// model records the modeled compute time of the finished call: measured wall
+// time with the device-load and LU-kernel wall segments replaced by their
+// parallel critical paths (see DESIGN.md, hardware substitution).
+func (ps *PointSolver) model(start time.Time, loadWall0, loadCrit0, luWall0, luCrit0 int64) {
 	wall := time.Since(start).Nanoseconds()
 	loadWall := ps.WS.LoadWallNanos - loadWall0
 	loadCrit := ps.WS.LoadCritNanos - loadCrit0
-	ps.LastNanos = wall - loadWall + loadCrit
+	luWall := ps.WS.Solver.LUWallNanos - luWall0
+	luCrit := ps.WS.Solver.LUCritNanos - luCrit0
+	ps.LastNanos = wall - loadWall + loadCrit - luWall + luCrit
 	ps.Stats.CriticalNanos += ps.LastNanos
 }
 
@@ -635,6 +666,15 @@ func RestartStep(gap, lastStep, hInit float64, ctrl integrate.Control) float64 {
 	return num.Clamp(h, ctrl.HMin, ctrl.HMax)
 }
 
+// IntraProfitable reports whether a system is large enough for the
+// intra-point gang (pooled colored loads + level-scheduled LU kernels) to
+// pay for its barrier overhead. Small circuits stay serial no matter what
+// core budget the caller offers: the per-level synchronization costs more
+// than the arithmetic it spreads.
+func IntraProfitable(sys *circuit.System) bool {
+	return sys.N >= 96 && len(sys.Circuit.Devices()) >= 128
+}
+
 // Run executes the serial adaptive transient analysis.
 func Run(sys *circuit.System, opts Options) (*Result, error) {
 	if opts.TStop <= 0 {
@@ -650,6 +690,20 @@ func Run(sys *circuit.System, opts Options) (*Result, error) {
 	if opts.LoadWorkers > 1 {
 		ps.WS.SetLoadWorkers(opts.LoadWorkers)
 		ps.WS.SetLoadMode(opts.LoadMode)
+	}
+	if opts.CoreBudget > 0 {
+		ps.Stats.CoreBudget = opts.CoreBudget
+		ps.Stats.PipelineWorkers = 1
+		ps.Stats.IntraWorkers = 1
+	}
+	if opts.CoreBudget > 1 && IntraProfitable(sys) {
+		budget := sched.NewBudget(opts.CoreBudget)
+		budget.Reserve(1) // this goroutine is the gang leader
+		if pool := budget.NewPool(opts.CoreBudget); pool != nil {
+			defer pool.Close()
+			ps.WS.SetPool(pool)
+			ps.Stats.IntraWorkers = pool.Workers()
+		}
 	}
 	rl := &RecoveryLog{}
 	partial := func(w *waveform.Set, hist *integrate.History) *Result {

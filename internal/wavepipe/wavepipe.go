@@ -40,6 +40,7 @@ import (
 	"wavepipe/internal/faults"
 	"wavepipe/internal/integrate"
 	"wavepipe/internal/num"
+	"wavepipe/internal/sched"
 	"wavepipe/internal/trace"
 	"wavepipe/internal/transient"
 	"wavepipe/internal/waveform"
@@ -137,14 +138,24 @@ func Run(sys *circuit.System, opts Options) (*transient.Result, error) {
 		opts: opts,
 		base: base,
 		ctrl: base.Control,
-		// With fewer cores than workers, concurrent solves would time-share
-		// the CPU and pollute the per-solve measurements behind the
-		// critical-path model; the stage tasks are mutually independent, so
-		// they can run sequentially with identical results.
-		seq: runtime.GOMAXPROCS(0) < opts.Threads && !opts.ForceParallelWorkers,
-		rl:  &transient.RecoveryLog{},
-		flt: base.Faults,
-		tr:  base.Trace,
+		rl:   &transient.RecoveryLog{},
+		flt:  base.Faults,
+		tr:   base.Trace,
+	}
+	// Two-level budget split: one core per pipeline worker first, then the
+	// remainder divided into equal per-solver intra-point gangs. Small
+	// systems keep the whole budget at the pipeline level — barrier costs
+	// would eat the intra-point gain (see transient.IntraProfitable).
+	e.intra = 1
+	if base.CoreBudget > 0 {
+		e.coreBudget = base.CoreBudget
+		e.budget = sched.NewBudget(base.CoreBudget)
+		e.budget.Reserve(opts.Threads) // pipeline leaders (may be partial)
+		if transient.IntraProfitable(sys) {
+			if intra := base.CoreBudget / opts.Threads; intra > 1 {
+				e.intra = intra
+			}
+		}
 	}
 	for i := 0; i < opts.Threads; i++ {
 		s := transient.NewPointSolver(sys, base.Method, base.Newton, base.Gmin)
@@ -153,10 +164,23 @@ func Run(sys *circuit.System, opts Options) (*transient.Result, error) {
 			s.WS.SetLoadWorkers(base.LoadWorkers)
 			s.WS.SetLoadMode(base.LoadMode)
 		}
+		if e.intra > 1 {
+			// NewPool grants whatever the budget still covers; a nil pool
+			// (budget exhausted) just leaves this solver serial inside.
+			if pool := e.budget.NewPool(e.intra); pool != nil {
+				s.WS.SetPool(pool)
+				e.pools = append(e.pools, pool)
+			}
+		}
 		s.WS.Solver.BypassTol = base.BypassTol
 		s.SetTrace(base.Trace, int16(i))
 		e.solvers = append(e.solvers, s)
 	}
+	defer func() {
+		for _, p := range e.pools {
+			p.Close()
+		}
+	}()
 
 	p0, err := transient.InitialPoint(sys, e.solvers[0], base)
 	if err != nil {
@@ -231,6 +255,15 @@ func (e *engine) result() *transient.Result {
 	// The summed per-solver CriticalNanos is total work; replace it with
 	// the pipeline critical path accumulated per stage.
 	stats.CriticalNanos = e.critNanos
+	stats.CoreBudget = e.coreBudget
+	stats.PipelineWorkers = e.opts.Threads
+	stats.IntraWorkers = 1
+	for _, p := range e.pools {
+		if w := p.Workers(); w > stats.IntraWorkers {
+			stats.IntraWorkers = w
+		}
+	}
+	stats.PipelineSerialized = e.pipelineSerialized
 	return &transient.Result{W: e.w, Stats: stats, FinalX: num.Copy(e.hist.Last().X), Recovery: e.rl}
 }
 
@@ -251,7 +284,15 @@ type engine struct {
 	h          float64
 	afterBreak bool
 	warmup     int // serial stages remaining after a pipeline flush
-	seq        bool
+
+	// Two-level scheduling state: the run's core budget (0 = unmanaged),
+	// the per-solver intra-point gang width, the budget accountant and the
+	// pools it granted, and whether any pipeline phase had to serialize.
+	coreBudget         int
+	intra              int
+	budget             *sched.Budget
+	pools              []*sched.Pool
+	pipelineSerialized bool
 
 	// Robustness state: the run's recovery log and fault harness, the
 	// remaining serial-fallback window, and the consecutive-failure streak
@@ -327,11 +368,33 @@ func (e *engine) noteMainIters(iters int) {
 	e.emaIters += 0.2 * (float64(iters) - e.emaIters)
 }
 
+// sequentialFor reports whether a phase of n concurrent tasks must run
+// sequentially. Two reasons force it: the host has fewer schedulable cores
+// than tasks (concurrent solves would time-share the CPU and pollute the
+// per-solve measurements behind the critical-path model), or the run's core
+// budget grants fewer pipeline slots than the phase needs. Both are
+// rechecked every phase — GOMAXPROCS is mutable at runtime, so a one-shot
+// answer captured at engine construction can go stale mid-run.
+func (e *engine) sequentialFor(n int) bool {
+	if e.opts.ForceParallelWorkers {
+		return false
+	}
+	if runtime.GOMAXPROCS(0) < n {
+		return true
+	}
+	return e.coreBudget > 0 && e.coreBudget < n
+}
+
 // runTasks executes the independent tasks of one pipeline phase, in
-// parallel on hosts with enough cores and sequentially otherwise (same
-// results either way; see the seq field).
+// parallel on hosts with enough cores and budget, and sequentially
+// otherwise (same results either way; see sequentialFor).
 func (e *engine) runTasks(tasks ...func()) {
-	if e.seq || len(tasks) == 1 {
+	if len(tasks) == 1 {
+		tasks[0]()
+		return
+	}
+	if e.sequentialFor(len(tasks)) {
+		e.pipelineSerialized = true
 		for _, t := range tasks {
 			t()
 		}

@@ -341,6 +341,14 @@ type TranOptions struct {
 	// iteration. 0 (the default) disables bypass and keeps waveforms
 	// bit-identical to the always-factorize engine.
 	BypassTol float64
+	// CoreBudget caps the total cores the run may occupy at once across
+	// both scheduling levels. The WavePipe schemes give one core to each
+	// pipeline worker and split the remainder into per-solver gangs that
+	// run colored device loads and the level-scheduled LU kernels; the
+	// serial engine puts the whole budget into one intra-point gang.
+	// Results are bit-identical to the serial path at every budget. 0 (the
+	// default) leaves scheduling unmanaged, as in earlier releases.
+	CoreBudget int
 	// Faults injects deterministic solver faults for robustness testing
 	// (nil in production runs).
 	Faults *FaultInjector
@@ -374,6 +382,12 @@ func (o TranOptions) validate() error {
 	}
 	if o.DeltaRatio >= 1 {
 		return fmt.Errorf("wavepipe: DeltaRatio %g must be below 1: a backward point at δ ≥ h would precede the current time", o.DeltaRatio)
+	}
+	if o.CoreBudget < 0 {
+		return fmt.Errorf("wavepipe: CoreBudget must not be negative (got %d)", o.CoreBudget)
+	}
+	if o.CoreBudget > 1024 {
+		return fmt.Errorf("wavepipe: CoreBudget %d is not a plausible core count (max 1024)", o.CoreBudget)
 	}
 	return nil
 }
@@ -464,13 +478,14 @@ func baseOptions(sys *System, opts TranOptions) (transient.Options, error) {
 		return transient.Options{}, fmt.Errorf("wavepipe: TStop must be positive")
 	}
 	base := transient.Options{
-		TStop:     opts.TStop,
-		Method:    opts.Method,
-		HInit:     opts.InitStep,
-		UIC:       opts.UIC,
-		Faults:    opts.Faults,
-		LoadMode:  opts.LoadMode,
-		BypassTol: opts.BypassTol,
+		TStop:      opts.TStop,
+		Method:     opts.Method,
+		HInit:      opts.InitStep,
+		UIC:        opts.UIC,
+		Faults:     opts.Faults,
+		LoadMode:   opts.LoadMode,
+		BypassTol:  opts.BypassTol,
+		CoreBudget: opts.CoreBudget,
 	}
 	ctrl := integrate.DefaultControl(opts.TStop)
 	if opts.RelTol > 0 {

@@ -30,9 +30,13 @@ type benchMetrics struct {
 	BypassedFactorizations int     `json:"bypassed_factorizations"`
 	Refactorizations       int     `json:"refactorizations"`
 	FullFactorizations     int     `json:"full_factorizations"`
-	LoadSerialNs           int64   `json:"load_serial_ns"`
-	LoadSharded4Ns         int64   `json:"load_sharded4_ns"`
-	LoadColored4Ns         int64   `json:"load_colored4_ns"`
+	// Incremental-assembly metadata (zero values when -devbypass is unset).
+	DeviceBypass    bool  `json:"device_bypass"`
+	BypassedEvals   int64 `json:"bypassed_evals"`
+	LinearStampHits int64 `json:"linear_stamp_hits"`
+	LoadSerialNs    int64 `json:"load_serial_ns"`
+	LoadSharded4Ns  int64 `json:"load_sharded4_ns"`
+	LoadColored4Ns  int64 `json:"load_colored4_ns"`
 	// LoadReductionNs is what one device-load call saves under the colored
 	// direct-stamp path relative to shard-and-reduce at 4 workers.
 	LoadReductionNs int64 `json:"load_reduction_ns"`
@@ -72,7 +76,7 @@ func measureLoadNs(sys *circuit.System, mode circuit.LoadMode, workers int) int6
 
 // jsonMetrics runs the selected circuit once per configuration and emits a
 // JSON array of benchMetrics on stdout.
-func jsonMetrics(benchName string, bypassTol float64, coreBudget int) error {
+func jsonMetrics(benchName string, bypassTol float64, coreBudget int, devBypass bool) error {
 	var records []benchMetrics
 	for _, b := range circuits.Suite() {
 		if benchName != "all" && b.Name != benchName {
@@ -86,10 +90,11 @@ func jsonMetrics(benchName string, bypassTol float64, coreBudget int) error {
 		loadSharded := measureLoadNs(sys, circuit.LoadSharded, 4)
 		loadColored := measureLoadNs(sys, circuit.LoadColored, 4)
 		opts := wavepipe.TranOptions{
-			TStop:      window(b),
-			Record:     []string{b.Probe},
-			BypassTol:  bypassTol,
-			CoreBudget: coreBudget,
+			TStop:        window(b),
+			Record:       []string{b.Probe},
+			BypassTol:    bypassTol,
+			CoreBudget:   coreBudget,
+			DeviceBypass: devBypass,
 		}
 		var ms0, ms1 runtime.MemStats
 		runtime.GC()
@@ -114,6 +119,9 @@ func jsonMetrics(benchName string, bypassTol float64, coreBudget int) error {
 			BypassedFactorizations: res.Stats.BypassedFactorizations,
 			Refactorizations:       res.Stats.Refactorizations,
 			FullFactorizations:     res.Stats.FullFactorizations,
+			DeviceBypass:           devBypass,
+			BypassedEvals:          res.Stats.BypassedEvals,
+			LinearStampHits:        res.Stats.LinearStampHits,
 			LoadSerialNs:           loadSerial,
 			LoadSharded4Ns:         loadSharded,
 			LoadColored4Ns:         loadColored,
@@ -226,6 +234,108 @@ func figCoreScale(benchName string, maxCores int, jsonOut bool) error {
 			r.CoreBudget, r.Scheme, r.PipelineWorkers, r.IntraWorkers, r.PipelineSerialized,
 			float64(r.WallNs)/1e6, float64(r.CriticalNs)/1e6, r.Speedup)
 	}
+	return nil
+}
+
+// bypassScaleRecord is one point of the incremental-assembly sweep.
+type bypassScaleRecord struct {
+	Circuit      string `json:"circuit"`
+	GOMAXPROCS   int    `json:"gomaxprocs"`
+	Scheme       string `json:"scheme"`
+	Threads      int    `json:"threads"`
+	DeviceBypass bool   `json:"device_bypass"`
+	WallNs       int64  `json:"wall_ns"`
+	CriticalNs   int64  `json:"critical_ns"`
+	// Speedup is against the serial bypass-off baseline of the same circuit
+	// (critical-path timing model), so the device-level and pipeline-level
+	// gains compose in one column.
+	Speedup         float64 `json:"speedup"`
+	Points          int     `json:"points"`
+	NRIters         int     `json:"nr_iters"`
+	BypassedEvals   int64   `json:"bypassed_evals"`
+	LinearStampHits int64   `json:"linear_stamp_hits"`
+	// LinearHitRate is LinearStampHits per Newton iteration (every iteration
+	// performs one device load); BypassPerIter is the mean number of device
+	// evaluations answered by journal replay per load.
+	LinearHitRate float64 `json:"linear_hit_rate"`
+	BypassPerIter float64 `json:"bypass_per_iter"`
+}
+
+// figBypassScale measures how the incremental assembly engine (linear-stamp
+// template caching + SPICE-style device bypass) composes with WavePipe
+// pipelining: serial and combined 2-4T, each with device bypass off and on,
+// reported against the serial bypass-off baseline (reconstruction F8).
+func figBypassScale(benchName string, jsonOut bool) error {
+	var records []bypassScaleRecord
+	for _, b := range circuits.Suite() {
+		if benchName != "all" && b.Name != benchName {
+			continue
+		}
+		sys, err := build(b)
+		if err != nil {
+			return err
+		}
+		base := wavepipe.TranOptions{TStop: window(b), Record: []string{b.Probe}}
+		type cfg struct {
+			scheme  wavepipe.Scheme
+			threads int
+		}
+		cfgs := []cfg{{wavepipe.Serial, 1}, {wavepipe.Combined, 2}, {wavepipe.Combined, 3}, {wavepipe.Combined, 4}}
+		var serialCrit int64
+		for _, c := range cfgs {
+			for _, bypass := range []bool{false, true} {
+				opts := base
+				opts.Scheme = c.scheme
+				if c.scheme != wavepipe.Serial {
+					opts.Threads = c.threads
+				}
+				opts.DeviceBypass = bypass
+				wall, res, err := timed(sys, opts)
+				if err != nil {
+					return err
+				}
+				if c.scheme == wavepipe.Serial && !bypass {
+					serialCrit = res.Stats.CriticalNanos
+				}
+				rec := bypassScaleRecord{
+					Circuit:         b.Name,
+					GOMAXPROCS:      runtime.GOMAXPROCS(0),
+					Scheme:          opts.Scheme.String(),
+					Threads:         c.threads,
+					DeviceBypass:    bypass,
+					WallNs:          wall.Nanoseconds(),
+					CriticalNs:      res.Stats.CriticalNanos,
+					Speedup:         float64(serialCrit) / float64(res.Stats.CriticalNanos),
+					Points:          res.Stats.Points,
+					NRIters:         res.Stats.NRIters,
+					BypassedEvals:   res.Stats.BypassedEvals,
+					LinearStampHits: res.Stats.LinearStampHits,
+				}
+				if res.Stats.NRIters > 0 {
+					rec.LinearHitRate = float64(res.Stats.LinearStampHits) / float64(res.Stats.NRIters)
+					rec.BypassPerIter = float64(res.Stats.BypassedEvals) / float64(res.Stats.NRIters)
+				}
+				records = append(records, rec)
+			}
+		}
+	}
+	if len(records) == 0 {
+		return fmt.Errorf("no benchmark circuit %q", benchName)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(records)
+	}
+	fmt.Printf("Figure F8: incremental assembly x WavePipe (GOMAXPROCS=%d)\n", runtime.GOMAXPROCS(0))
+	fmt.Println("circuit,scheme,threads,devbypass,wall_ms,crit_ms,speedup,points,nr_iters,linear_hit_rate,bypass_per_iter")
+	for _, r := range records {
+		fmt.Printf("%s,%s,%d,%v,%.2f,%.2f,%.2f,%d,%d,%.3f,%.2f\n",
+			r.Circuit, r.Scheme, r.Threads, r.DeviceBypass,
+			float64(r.WallNs)/1e6, float64(r.CriticalNs)/1e6, r.Speedup,
+			r.Points, r.NRIters, r.LinearHitRate, r.BypassPerIter)
+	}
+	fmt.Println("speedup is vs the serial devbypass=false baseline (critical-path model)")
 	return nil
 }
 

@@ -40,11 +40,12 @@ var (
 
 func main() {
 	table := flag.Int("table", 0, "regenerate table N (1-4)")
-	fig := flag.String("fig", "", "regenerate figure: stepsize, accuracy, scaling, work, fwp, ablation, loadscale, corescale")
+	fig := flag.String("fig", "", "regenerate figure: stepsize, accuracy, scaling, work, fwp, ablation, loadscale, corescale, bypassscale")
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON metrics (see -bench, -bypasstol)")
-	benchName := flag.String("bench", "grid16", "circuit for -json and -fig corescale (a suite name, or all)")
+	benchName := flag.String("bench", "grid16", "circuit for -json, -fig corescale and -fig bypassscale (a suite name, or all)")
 	bypassTol := flag.Float64("bypasstol", 0, "factorization-bypass tolerance for the -json run")
+	devBypass := flag.Bool("devbypass", false, "enable incremental assembly (linear-stamp caching + device bypass) for the -json run")
 	cores := flag.Int("cores", 0, "core budget for the -json run (0 = unmanaged)")
 	maxCores := flag.Int("maxcores", 0, "largest core budget for -fig corescale (0 = NumCPU)")
 	flag.Parse()
@@ -83,8 +84,8 @@ func main() {
 		}
 	}()
 
-	// corescale is resolved before the -json early return: with -json it
-	// emits the sweep as JSON records instead of CSV text.
+	// corescale and bypassscale are resolved before the -json early return:
+	// with -json they emit the sweep as JSON records instead of CSV text.
 	if *fig == "corescale" {
 		if err := figCoreScale(*benchName, *maxCores, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "wavebench:", err)
@@ -92,8 +93,15 @@ func main() {
 		}
 		return
 	}
+	if *fig == "bypassscale" {
+		if err := figBypassScale(*benchName, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "wavebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *jsonOut {
-		if err := jsonMetrics(*benchName, *bypassTol, *cores); err != nil {
+		if err := jsonMetrics(*benchName, *bypassTol, *cores, *devBypass); err != nil {
 			fmt.Fprintln(os.Stderr, "wavebench:", err)
 			os.Exit(1)
 		}
@@ -148,6 +156,9 @@ func main() {
 	}
 	if *all || *fig == "loadscale" {
 		run("loadscale", figLoadScale)
+	}
+	if *all {
+		run("bypassscale", func() error { return figBypassScale(*benchName, false) })
 	}
 }
 

@@ -92,6 +92,7 @@ type runConfig struct {
 	threads     int
 	cores       int
 	bypassTol   float64
+	devBypass   bool
 	stats       bool
 }
 
@@ -108,6 +109,7 @@ func main() {
 	flag.StringVar(&cfg.outPath, "o", "", "CSV output file (default: stdout)")
 	flag.BoolVar(&cfg.stats, "stats", false, "print run statistics to stderr")
 	flag.Float64Var(&cfg.bypassTol, "bypasstol", 0, "Newton factorization-bypass tolerance (0 = always factorize)")
+	flag.BoolVar(&cfg.devBypass, "devbypass", false, "enable incremental assembly: linear-stamp template caching + SPICE-style device bypass")
 	flag.StringVar(&cfg.loadMode, "loadmode", "auto", "parallel device-assembly strategy: auto, sharded, colored")
 	flag.StringVar(&cfg.tracePath, "trace", "", "write the run's event trace to this file (.jsonl = JSONL event log, anything else = Chrome trace_event JSON)")
 	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve live run metrics over HTTP on this address (Prometheus text at /metrics)")
@@ -222,7 +224,7 @@ func run(ctx context.Context, cfg runConfig) error {
 		return fmt.Errorf("unknown analysis %q", cfg.analysis)
 	}
 
-	opts := wavepipe.TranOptions{Threads: cfg.threads, CoreBudget: cfg.cores, BypassTol: cfg.bypassTol}
+	opts := wavepipe.TranOptions{Threads: cfg.threads, CoreBudget: cfg.cores, BypassTol: cfg.bypassTol, DeviceBypass: cfg.devBypass}
 	switch strings.ToLower(cfg.loadMode) {
 	case "auto", "":
 		opts.LoadMode = wavepipe.LoadAuto
@@ -326,6 +328,11 @@ func run(ctx context.Context, cfg runConfig) error {
 			res.Stats.NRIters, res.Stats.LTERejects, res.Stats.Discarded,
 			res.Stats.Recoveries, res.Stats.FullFactorizations, res.Stats.Refactorizations,
 			res.Stats.BypassedFactorizations, wall.Round(time.Microsecond))
+		if cfg.devBypass {
+			fmt.Fprintf(os.Stderr,
+				"wavesim: device bypass: bypassed-evals=%d linear-stamp-hits=%d\n",
+				res.Stats.BypassedEvals, res.Stats.LinearStampHits)
+		}
 		if res.Stats.CoreBudget > 0 {
 			fmt.Fprintf(os.Stderr,
 				"wavesim: core budget %d split as %d pipeline x %d intra (pipeline serialized: %v)\n",

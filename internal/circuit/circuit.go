@@ -121,7 +121,14 @@ func (c *Circuit) Build() (*System, error) {
 	}
 	n := branch
 	b := sparse.NewBuilder(n)
-	r := &Reserver{b: b, devRows: make([][]int, len(c.devices))}
+	r := &Reserver{
+		b:           b,
+		devRows:     make([][]int, len(c.devices)),
+		devSlots:    make([][]int, len(c.devices)),
+		devCols:     make([][]int, len(c.devices)),
+		devSlotRows: make([][]int, len(c.devices)),
+		devSlotCols: make([][]int, len(c.devices)),
+	}
 	for i, d := range c.devices {
 		r.current, r.devIdx = d, i
 		d.Reserve(r)
@@ -155,6 +162,11 @@ func (c *Circuit) Build() (*System, error) {
 		pattern:      m,
 		diagSlots:    diag,
 		colorClasses: buildColoring(c, m, n, state, r.devRows),
+		devSlots:     r.devSlots,
+		devCols:      r.devCols,
+		devRows:      r.devRows,
+		devSlotRows:  r.devSlotRows,
+		devSlotCols:  r.devSlotCols,
 	}, nil
 }
 
@@ -164,6 +176,10 @@ type Reserver struct {
 	current     Device
 	devIdx      int
 	devRows     [][]int // per-device rows named in J calls (coloring footprint)
+	devSlots    [][]int // per-device Jacobian slots (incremental-assembly footprint)
+	devCols     [][]int // per-device columns named in J calls (bypass read set)
+	devSlotRows [][]int // row index per devSlots entry (aligned 1:1 with devSlots)
+	devSlotCols [][]int // column index per devSlots entry (aligned 1:1 with devSlots)
 	touchedRows []int
 }
 
@@ -173,11 +189,18 @@ func (r *Reserver) J(row, col int) int {
 	if row != Ground {
 		r.devRows[r.devIdx] = append(r.devRows[r.devIdx], row)
 	}
+	if col != Ground {
+		r.devCols[r.devIdx] = append(r.devCols[r.devIdx], col)
+	}
 	if row == Ground || col == Ground {
 		return -1
 	}
 	r.touchedRows = append(r.touchedRows, row)
-	return r.b.Reserve(row, col)
+	slot := r.b.Reserve(row, col)
+	r.devSlots[r.devIdx] = append(r.devSlots[r.devIdx], slot)
+	r.devSlotRows[r.devIdx] = append(r.devSlotRows[r.devIdx], row)
+	r.devSlotCols[r.devIdx] = append(r.devSlotCols[r.devIdx], col)
+	return slot
 }
 
 // System is a compiled circuit: a frozen Jacobian pattern plus the device
@@ -204,6 +227,26 @@ type System struct {
 	// is by far the most allocation-heavy step of a full factorization.
 	colPermOnce sync.Once
 	colPerm     []int
+
+	// devSlots/devCols/devRows record, per device, the Jacobian slots, the
+	// columns (controlling unknowns), and the rows it named in Reserve. The
+	// incremental assembly engine turns them into the dedup'd stamp
+	// footprints it journals and replays (see incremental.go).
+	devSlots [][]int
+	devCols  [][]int
+	devRows  [][]int
+	// devSlotRows/devSlotCols give the (row, col) coordinates of each
+	// devSlots entry, aligned index-for-index. The bypass engine's
+	// predicted-residual guard needs them to map a Jacobian slot back to
+	// the equation row it perturbs and the unknown it is controlled by.
+	devSlotRows [][]int
+	devSlotCols [][]int
+
+	// inc caches the Build-time incremental-assembly basis (linear stamp
+	// template + per-device footprints); built lazily on the first workspace
+	// that enables device bypass, nil when the circuit does not support it.
+	incOnce sync.Once
+	inc     *incBasis
 }
 
 // fillOrdering returns the shared fill-reducing ordering, computing it on
@@ -275,6 +318,12 @@ type Workspace struct {
 	wctx        []EvalCtx // pooled per-worker contexts for the colored path
 	colorBar    sched.Barrier
 	iterSave    []float64 // pooled copy of the Newton iterate (bypass guard)
+
+	// inc holds the per-workspace incremental-assembly state (linear stamp
+	// template LRU + per-device bypass journals); nil unless SetDeviceBypass
+	// enabled it. Each workspace owns an independent copy, so concurrent
+	// pipeline points never share mutable device-bypass state.
+	inc *incState
 }
 
 // SetPool attaches a gang pool (see internal/sched) to the workspace: device
@@ -356,6 +405,15 @@ type LoadParams struct {
 // Load assembles the Jacobian (dF/dx + Alpha0·dQ/dx) and the F, Q, B
 // vectors at iterate x.
 func (ws *Workspace) Load(x []float64, p LoadParams) {
+	if inc := ws.inc; inc != nil {
+		// Incremental assembly covers the serial path only (the profitability
+		// policy in incremental.go); each WavePipe lane loads serially inside
+		// its own workspace, so this is the common pipeline configuration.
+		if ws.loadWorkers <= 1 && ws.loadIncremental(x, p) {
+			return
+		}
+		inc.lastBypassed, inc.lastLinear = 0, false
+	}
 	if ws.loadWorkers > 1 {
 		if ws.useColored() {
 			ws.loadColored(x, p)
@@ -511,9 +569,12 @@ func (ws *Workspace) FlipState() {
 
 // CopyStateFrom copies the limiting state of another workspace (used when a
 // speculative worker adopts the state of the worker whose point it follows).
+// Adopting foreign state invalidates any device-bypass journals recorded
+// against this workspace's own history.
 func (ws *Workspace) CopyStateFrom(other *Workspace) {
 	copy(ws.SPrev, other.SPrev)
 	copy(ws.SNext, other.SNext)
+	ws.InvalidateDeviceBypass()
 }
 
 // EvalCtx is the device evaluation context for one assembly pass.
@@ -599,7 +660,7 @@ func (e *EvalCtx) AddQ(i int, v float64) {
 func (e *EvalCtx) AddB(i int, v float64) {
 	if i != Ground {
 		if e.rec != nil {
-			e.rec.note(i)
+			e.rec.noteB(i)
 		}
 		e.B[i] += e.SrcScale * v
 	}

@@ -90,12 +90,20 @@ func (ws *Workspace) useColored() bool {
 }
 
 // probeRecorder collects the rows a device writes during the Build-time
-// recording probe.
+// recording probe. bRows separately tracks the rows written through AddB:
+// a device that stamps the source vector is time-varying and can never be
+// bypassed (its contribution changes even at a frozen iterate).
 type probeRecorder struct {
-	rows []int
+	rows  []int
+	bRows []int
 }
 
 func (r *probeRecorder) note(i int) { r.rows = append(r.rows, i) }
+
+func (r *probeRecorder) noteB(i int) {
+	r.rows = append(r.rows, i)
+	r.bRows = append(r.bRows, i)
+}
 
 // buildColoring computes the conflict-free device classes for a compiled
 // circuit. It returns nil — disabling the colored path — if any device
@@ -133,7 +141,7 @@ func buildColoring(c *Circuit, pattern *sparse.Matrix, n, numStates int, devRows
 	footprint := make([][]int, nd)
 	seen := make([]int, n) // row -> device index + 1 (dedup stamp)
 	for di, d := range devices {
-		rec.rows = rec.rows[:0]
+		rec.rows, rec.bRows = rec.rows[:0], rec.bRows[:0]
 		d.Eval(&ctx)
 		var rows []int
 		for _, r := range devRows[di] {

@@ -65,16 +65,7 @@ func Solve(ws *circuit.Workspace, x []float64, p circuit.LoadParams, qhist []flo
 	forceFresh := false
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		p.FirstIter = iter == 0
-		if ws.Trace.Active() {
-			t0 := time.Now()
-			ws.Load(x, p)
-			ws.Trace.Emit(trace.Event{
-				Kind: trace.KindPhase, Phase: trace.PhaseDeviceLoad,
-				Dur: time.Since(t0).Nanoseconds(), T: p.Time, Worker: ws.Worker,
-			})
-		} else {
-			ws.Load(x, p)
-		}
+		loadTraced(ws, x, p)
 		limited := ws.Limited
 		ws.Residual(p.Alpha0, qhist, r)
 		if err := factorAndSolve(ws, p.Time, r, dx, forceFresh); err != nil {
@@ -107,6 +98,44 @@ func Solve(ws *circuit.Workspace, x []float64, p circuit.LoadParams, qhist []flo
 		// active device limiting may pass the update test while grossly
 		// violating the true residual) is the limiting flag.
 		if maxRatio <= 1 && !limited {
+			if ws.LastLoadBypassed() > 0 {
+				// A load with bypassed device evaluations is never allowed to
+				// be the iteration that declares convergence: the replayed
+				// stamps are within tolerance but not exact.
+				if bypassed {
+					// The step also came from a reused LU — two staleness
+					// sources stack, so certify nothing in place: force a
+					// fully evaluated iteration and re-test.
+					ws.DisableBypassOnce()
+					continue
+				}
+				// In-place certification: reload with every device fully
+				// evaluated at the candidate iterate, then take one exact-
+				// residual step through the current factorization. Accepting
+				// only when that step also lands inside the band gives the
+				// declaring iteration an exact assembly at a fraction of a
+				// full iteration (no refactorization).
+				ws.DisableBypassOnce()
+				loadTraced(ws, x, p)
+				if ws.Limited {
+					continue
+				}
+				ws.Residual(p.Alpha0, qhist, r)
+				if err := ws.Solver.Solve(r, dx); err != nil {
+					return res, faults.Wrap("newton", p.Time, -1, fmt.Errorf("iteration %d: %w", iter, err))
+				}
+				maxRatio = applyUpdate(x, dx, opts)
+				ws.FlipState()
+				if i := num.NonFiniteIndex(x); i >= 0 {
+					return res, faults.Wrap("newton", p.Time, i,
+						fmt.Errorf("%w in iterate after %d iterations", faults.ErrNonFinite, res.Iters))
+				}
+				if maxRatio > 1 {
+					// The exact assembly disagreed: keep iterating from the
+					// genuine Newton step it produced.
+					continue
+				}
+			}
 			if bypassed {
 				// Never accept an iterate produced under factorization
 				// bypass: rewind to the pre-update iterate (whose assembly
@@ -131,7 +160,10 @@ func Solve(ws *circuit.Workspace, x []float64, p circuit.LoadParams, qhist []flo
 				}
 			}
 			if opts.ResidualTol > 0 {
-				ws.Load(x, p)
+				// The residual that certifies convergence must come from a
+				// fully evaluated assembly, never from replayed stamps.
+				ws.DisableBypassOnce()
+				loadTraced(ws, x, p)
 				ws.Residual(p.Alpha0, qhist, r)
 				if num.MaxAbs(r) > opts.ResidualTol {
 					continue
@@ -149,6 +181,29 @@ func Solve(ws *circuit.Workspace, x []float64, p circuit.LoadParams, qhist []flo
 	}
 	return res, faults.Wrap("newton", p.Time, -1,
 		fmt.Errorf("%w after %d iterations", ErrNoConvergence, opts.MaxIter))
+}
+
+// loadTraced assembles the system, pairing each Load with exactly one
+// PhaseDeviceLoad event when tracing is active. The event carries the
+// incremental-assembly outcome — Iters holds the bypassed-eval count and
+// FlagLinearHit marks a linear-template hit — so trace replay reconciles
+// 1:1 with the workspace's DeviceBypassCounters.
+func loadTraced(ws *circuit.Workspace, x []float64, p circuit.LoadParams) {
+	if !ws.Trace.Active() {
+		ws.Load(x, p)
+		return
+	}
+	t0 := time.Now()
+	ws.Load(x, p)
+	ev := trace.Event{
+		Kind: trace.KindPhase, Phase: trace.PhaseDeviceLoad,
+		Dur: time.Since(t0).Nanoseconds(), T: p.Time, Worker: ws.Worker,
+		Iters: int32(ws.LastLoadBypassed()),
+	}
+	if ws.LastLoadLinearHit() {
+		ev.Flags |= trace.FlagLinearHit
+	}
+	ws.Trace.Emit(ev)
 }
 
 func factorAndSolve(ws *circuit.Workspace, at float64, r, dx []float64, forceFresh bool) error {

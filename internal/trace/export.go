@@ -27,14 +27,16 @@ type jsonlRecord struct {
 	Detail string  `json:"detail,omitempty"`
 
 	// Snapshot-only counters.
-	Points       int64   `json:"points,omitempty"`
-	Solves       int64   `json:"solves,omitempty"`
-	NRIters      int64   `json:"nr_iters,omitempty"`
-	LTERejects   int64   `json:"lte_rejects,omitempty"`
-	Discarded    int64   `json:"discarded,omitempty"`
-	Recoveries   int64   `json:"recoveries,omitempty"`
-	BypassHits   int64   `json:"bypass_hits,omitempty"`
-	PointsPerSec float64 `json:"points_per_sec,omitempty"`
+	Points          int64   `json:"points,omitempty"`
+	Solves          int64   `json:"solves,omitempty"`
+	NRIters         int64   `json:"nr_iters,omitempty"`
+	LTERejects      int64   `json:"lte_rejects,omitempty"`
+	Discarded       int64   `json:"discarded,omitempty"`
+	Recoveries      int64   `json:"recoveries,omitempty"`
+	BypassHits      int64   `json:"bypass_hits,omitempty"`
+	BypassedEvals   int64   `json:"bypassed_evals,omitempty"`
+	LinearStampHits int64   `json:"linear_stamp_hits,omitempty"`
+	PointsPerSec    float64 `json:"points_per_sec,omitempty"`
 }
 
 // WriteJSONL renders events and snapshots as one JSON object per line,
@@ -66,6 +68,7 @@ func WriteJSONL(w io.Writer, events []Event, snaps []Snapshot) error {
 				Points: s.Points, Solves: s.Solves, NRIters: s.NRIters,
 				LTERejects: s.LTERejects, Discarded: s.Discarded,
 				Recoveries: s.Recoveries, BypassHits: s.BypassHits,
+				BypassedEvals: s.BypassedEvals, LinearStampHits: s.LinearStampHits,
 				PointsPerSec: s.PointsPerSec,
 			}
 		}
@@ -120,6 +123,7 @@ func ReadJSONL(r io.Reader) ([]Event, []Snapshot, error) {
 				Points: rec.Points, Solves: rec.Solves, NRIters: rec.NRIters,
 				LTERejects: rec.LTERejects, Discarded: rec.Discarded,
 				Recoveries: rec.Recoveries, BypassHits: rec.BypassHits,
+				BypassedEvals: rec.BypassedEvals, LinearStampHits: rec.LinearStampHits,
 				PointsPerSec: rec.PointsPerSec,
 			})
 		default:
@@ -272,6 +276,8 @@ type ReplayCounts struct {
 	Recoveries      int // KindRecovery events
 	SerialFallbacks int // KindSerialFallback events
 	BypassHits      int // bypassed-factorization phase events
+	BypassedEvals   int // device evals replayed, summed over device-load phases
+	LinearStampHits int // device-load phases flagged as linear-template hits
 	Cancels         int // KindCancel events
 }
 
@@ -303,6 +309,12 @@ func Replay(events []Event) ReplayCounts {
 		case KindPhase:
 			if ev.Phase == PhaseFactor && ev.Flags&FlagBypassed != 0 {
 				c.BypassHits++
+			}
+			if ev.Phase == PhaseDeviceLoad {
+				c.BypassedEvals += int(ev.Iters)
+				if ev.Flags&FlagLinearHit != 0 {
+					c.LinearStampHits++
+				}
 			}
 		}
 	}

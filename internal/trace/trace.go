@@ -109,6 +109,10 @@ const (
 	FlagBypassed uint8 = 1 << 1
 	// FlagResumed marks a solve warm-started from speculative iterations.
 	FlagResumed uint8 = 1 << 2
+	// FlagLinearHit marks a device-load phase that started from a cached
+	// linear stamp template (incremental assembly LRU hit). Such events also
+	// carry the load's bypassed-device-eval count in Iters.
+	FlagLinearHit uint8 = 1 << 3
 )
 
 // Event is one structured trace record. The struct is fixed-size and
@@ -133,18 +137,20 @@ type Event struct {
 // Snapshot is a periodic metrics sample, emitted every SnapshotEvery
 // accepted points (see New). Counters are cumulative since run start.
 type Snapshot struct {
-	Seq          uint64  // shared sequence with events
-	Wall         int64   // nanoseconds since run start
-	T            float64 // simulation time at the snapshot
-	H            float64 // step size of the most recent accepted point
-	Points       int64   // accepted time points
-	Solves       int64   // Newton point solves attempted
-	NRIters      int64   // Newton iterations (incl. speculative warm-starts)
-	LTERejects   int64   // truncation-error rejections
-	Discarded    int64   // speculative points thrown away
-	Recoveries   int64   // recovery-ladder rescues
-	BypassHits   int64   // factorizations answered by LU reuse
-	PointsPerSec float64 // accept rate since the previous snapshot
+	Seq             uint64  // shared sequence with events
+	Wall            int64   // nanoseconds since run start
+	T               float64 // simulation time at the snapshot
+	H               float64 // step size of the most recent accepted point
+	Points          int64   // accepted time points
+	Solves          int64   // Newton point solves attempted
+	NRIters         int64   // Newton iterations (incl. speculative warm-starts)
+	LTERejects      int64   // truncation-error rejections
+	Discarded       int64   // speculative points thrown away
+	Recoveries      int64   // recovery-ladder rescues
+	BypassHits      int64   // factorizations answered by LU reuse
+	BypassedEvals   int64   // device evaluations answered by journal replay
+	LinearStampHits int64   // device loads started from a cached linear template
+	PointsPerSec    float64 // accept rate since the previous snapshot
 }
 
 // Observer receives the structured run telemetry. Callbacks are invoked
@@ -212,6 +218,7 @@ type Tracer struct {
 	points, solves, nrIters     int64
 	lteRejects, discarded       int64
 	recoveries, bypassHits      int64
+	evalBypasses, linearHits    int64
 	lastSnapPoints, lastSnapWal int64
 }
 
@@ -261,6 +268,12 @@ func (t *Tracer) Emit(ev Event) {
 		if ev.Phase == PhaseFactor && ev.Flags&FlagBypassed != 0 {
 			t.bypassHits++
 		}
+		if ev.Phase == PhaseDeviceLoad {
+			t.evalBypasses += int64(ev.Iters)
+			if ev.Flags&FlagLinearHit != 0 {
+				t.linearHits++
+			}
+		}
 	}
 	t.obs.OnEvent(ev)
 	if ev.Kind == KindAccept && t.points%t.every == 0 {
@@ -273,17 +286,19 @@ func (t *Tracer) Emit(ev Event) {
 func (t *Tracer) snapshotLocked(at Event) {
 	t.seq++
 	s := Snapshot{
-		Seq:        t.seq,
-		Wall:       at.Wall,
-		T:          at.T,
-		H:          at.H,
-		Points:     t.points,
-		Solves:     t.solves,
-		NRIters:    t.nrIters,
-		LTERejects: t.lteRejects,
-		Discarded:  t.discarded,
-		Recoveries: t.recoveries,
-		BypassHits: t.bypassHits,
+		Seq:             t.seq,
+		Wall:            at.Wall,
+		T:               at.T,
+		H:               at.H,
+		Points:          t.points,
+		Solves:          t.solves,
+		NRIters:         t.nrIters,
+		LTERejects:      t.lteRejects,
+		Discarded:       t.discarded,
+		Recoveries:      t.recoveries,
+		BypassHits:      t.bypassHits,
+		BypassedEvals:   t.evalBypasses,
+		LinearStampHits: t.linearHits,
 	}
 	if dw := at.Wall - t.lastSnapWal; dw > 0 {
 		s.PointsPerSec = float64(t.points-t.lastSnapPoints) / (float64(dw) / 1e9)

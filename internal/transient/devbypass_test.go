@@ -1,0 +1,147 @@
+package transient_test
+
+import (
+	"testing"
+
+	"wavepipe/internal/circuits"
+	"wavepipe/internal/trace"
+	"wavepipe/internal/transient"
+	"wavepipe/internal/waveform"
+)
+
+// suiteBench returns one named suite benchmark.
+func suiteBench(t *testing.T, name string) circuits.Benchmark {
+	t.Helper()
+	for _, b := range circuits.Suite() {
+		if b.Name == name {
+			return b
+		}
+	}
+	t.Fatalf("no suite circuit %q", name)
+	return circuits.Benchmark{}
+}
+
+// TestDeviceBypassSuiteEquivalence runs every suite circuit with the
+// incremental assembly engine off and on and requires the probe waveforms to
+// agree within the engine's own LTE-scale accuracy band. The engine must
+// also actually fire somewhere: a suite where no circuit records a single
+// template hit means the wiring regressed, not the tolerance.
+func TestDeviceBypassSuiteEquivalence(t *testing.T) {
+	var totalHits, totalBypassed int64
+	for _, b := range circuits.Suite() {
+		run := func(tol float64) *transient.Result {
+			sys, err := b.Make().Build()
+			if err != nil {
+				t.Fatalf("%s: %v", b.Name, err)
+			}
+			res, err := transient.Run(sys, transient.Options{TStop: b.TStop / 5, DeviceBypassTol: tol})
+			if err != nil {
+				t.Fatalf("%s (tol=%g): %v", b.Name, tol, err)
+			}
+			return res
+		}
+		ref := run(0)
+		res := run(transient.DefaultDeviceBypassTol)
+		if ref.Stats.BypassedEvals != 0 || ref.Stats.LinearStampHits != 0 {
+			t.Fatalf("%s: engine off, yet counters filled (%d, %d)",
+				b.Name, ref.Stats.BypassedEvals, ref.Stats.LinearStampHits)
+		}
+		dev, err := waveform.Compare(res.W, ref.W, b.Probe)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		// Probes that barely move inside the shortened window (digital
+		// outputs before the input edge arrives) make the relative measure
+		// a ratio of two roundoff-sized numbers; an absolute femtovolt bound
+		// covers those.
+		if dev.RelMax() > 0.02 && dev.Max > 1e-9 {
+			t.Errorf("%s: bypassed run deviates by %.4f of signal range (max %g over %g)",
+				b.Name, dev.RelMax(), dev.Max, dev.Range)
+		}
+		totalHits += res.Stats.LinearStampHits
+		totalBypassed += res.Stats.BypassedEvals
+	}
+	if totalHits == 0 {
+		t.Fatal("no suite circuit recorded a linear-template hit")
+	}
+	if totalBypassed == 0 {
+		t.Fatal("no suite circuit recorded a bypassed device evaluation")
+	}
+}
+
+// TestDeviceBypassStrictModeBitIdentical pins the strict-mode contract:
+// DeviceBypassTol = 0 keeps the incremental engine out of the build entirely,
+// so the run must be bit-identical — not merely close — to one that never
+// mentioned the option. The second half pins determinism of the engine
+// itself: two bypass-enabled runs of the same circuit must agree bit for bit.
+func TestDeviceBypassStrictModeBitIdentical(t *testing.T) {
+	b := suiteBench(t, "ring9")
+	run := func(tol float64) *transient.Result {
+		sys, err := b.Make().Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := transient.Run(sys, transient.Options{TStop: b.TStop / 5, DeviceBypassTol: tol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	bitIdentical := func(what string, a, b *transient.Result) {
+		t.Helper()
+		if len(a.W.Times) != len(b.W.Times) {
+			t.Fatalf("%s: %d vs %d time points", what, len(a.W.Times), len(b.W.Times))
+		}
+		for k := range a.W.Times {
+			if a.W.Times[k] != b.W.Times[k] {
+				t.Fatalf("%s: time axis diverges at sample %d: %g vs %g",
+					what, k, a.W.Times[k], b.W.Times[k])
+			}
+			for j := range a.W.Data[k] {
+				if a.W.Data[k][j] != b.W.Data[k][j] {
+					t.Fatalf("%s: sample %d signal %d differs: %g vs %g",
+						what, k, j, a.W.Data[k][j], b.W.Data[k][j])
+				}
+			}
+		}
+	}
+	base := run(0)
+	bitIdentical("strict mode vs untouched baseline", run(0), base)
+	on := run(transient.DefaultDeviceBypassTol)
+	if on.Stats.BypassedEvals == 0 {
+		t.Fatal("bypass never fired on ring9")
+	}
+	bitIdentical("bypass-enabled determinism", run(transient.DefaultDeviceBypassTol), on)
+}
+
+// TestDeviceBypassTraceReconciliation replays a complete (unbounded) trace of
+// a bypass-enabled run and requires the per-event counters to reconcile 1:1
+// with the run's Stats: every bypassed evaluation and every template hit must
+// appear in exactly one device-load phase event.
+func TestDeviceBypassTraceReconciliation(t *testing.T) {
+	b := suiteBench(t, "ring9")
+	sys, err := b.Make().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(0)
+	res, err := transient.Run(sys, transient.Options{
+		TStop:           b.TStop / 5,
+		DeviceBypassTol: transient.DefaultDeviceBypassTol,
+		Trace:           trace.New(rec, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.BypassedEvals == 0 || res.Stats.LinearStampHits == 0 {
+		t.Fatalf("engine idle (bypassed=%d, hits=%d): nothing to reconcile",
+			res.Stats.BypassedEvals, res.Stats.LinearStampHits)
+	}
+	c := trace.Replay(rec.Events())
+	if int64(c.BypassedEvals) != res.Stats.BypassedEvals {
+		t.Errorf("trace replays %d bypassed evals, stats say %d", c.BypassedEvals, res.Stats.BypassedEvals)
+	}
+	if int64(c.LinearStampHits) != res.Stats.LinearStampHits {
+		t.Errorf("trace replays %d template hits, stats say %d", c.LinearStampHits, res.Stats.LinearStampHits)
+	}
+}

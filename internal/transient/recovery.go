@@ -111,6 +111,9 @@ func (l *RecoveryLog) Count(kind string) int {
 func (ps *PointSolver) RecoverAt(hist *integrate.History, tNew float64, log *RecoveryLog) (*integrate.Point, integrate.Coeffs, error) {
 	in := ps.WS.Faults
 	defer in.SetStage(faults.StageNormal)
+	// Recovery always restarts from full device evaluations: the journals
+	// left behind by the failed solves describe diverging iterates.
+	ps.WS.InvalidateDeviceBypass()
 
 	// Rung 1: escalating damping. Tighter clamps trade convergence speed
 	// for stability, so the iteration budget doubles.

@@ -77,6 +77,15 @@ type Options struct {
 	// factorization, the LU is reused (the accepted final iterate of every
 	// point is still guaranteed a fresh factorization). 0 disables.
 	BypassTol float64
+	// DeviceBypassTol > 0 enables the incremental assembly engine: linear
+	// devices collapse into a cached per-Alpha0 stamp template, and nonlinear
+	// devices whose controlling voltages moved by less than
+	// DeviceBypassTol·|v| + abstol since their last evaluation are answered
+	// by journal replay instead of a model evaluation (SPICE3-style device
+	// bypass). The iteration that declares convergence is always fully
+	// evaluated, so accepted points never rest on replayed stamps.
+	// 0 disables (the default, and the bit-exact reference path).
+	DeviceBypassTol float64
 	// Faults, when non-nil, is a deterministic fault-injection harness shared
 	// by every solver layer of the run (tests only; nil in production).
 	Faults *faults.Injector
@@ -89,6 +98,11 @@ type Options struct {
 	// path allocation- and clock-read-free.
 	Trace *trace.Tracer
 }
+
+// DefaultDeviceBypassTol is the relative tolerance the facade enables
+// device bypass with. It sits well inside the Newton update tolerance, so a
+// replayed stamp can never move an iterate across the convergence band.
+const DefaultDeviceBypassTol = 1e-3
 
 // canceled reports whether o.Ctx has been canceled (nil-safe, non-blocking).
 func (o *Options) canceled() bool {
@@ -158,6 +172,12 @@ type Stats struct {
 	BypassedFactorizations int
 	Refactorizations       int
 	FullFactorizations     int
+	// Incremental-assembly accounting (filled from the workspace counters):
+	// BypassedEvals counts device evaluations answered by journal replay,
+	// LinearStampHits counts device loads that started from a cached linear
+	// stamp template instead of re-stamping every linear device.
+	BypassedEvals   int64
+	LinearStampHits int64
 	// CriticalNanos is the modeled multi-core wall-clock time: per pipeline
 	// stage, the slowest concurrent worker's measured compute time. For the
 	// serial engine it equals the sum of all point-solve times. This is the
@@ -190,6 +210,8 @@ func (s *Stats) Add(other Stats) {
 	s.BypassedFactorizations += other.BypassedFactorizations
 	s.Refactorizations += other.Refactorizations
 	s.FullFactorizations += other.FullFactorizations
+	s.BypassedEvals += other.BypassedEvals
+	s.LinearStampHits += other.LinearStampHits
 	s.CriticalNanos += other.CriticalNanos
 	// Scheduling fields describe the run, not per-worker work: keep the
 	// maximum (per-worker stats carry zeros) and OR the serialization flag.
@@ -398,6 +420,7 @@ func (ps *PointSolver) HarvestSolverStats() {
 	ps.Stats.BypassedFactorizations = ps.WS.Solver.BypassedFactorizations
 	ps.Stats.Refactorizations = ps.WS.Solver.Refactorizations
 	ps.Stats.FullFactorizations = ps.WS.Solver.FullFactorizations
+	ps.Stats.BypassedEvals, ps.Stats.LinearStampHits = ps.WS.DeviceBypassCounters()
 }
 
 // SolveAt computes the converged solution at tNew using hist for the
@@ -455,6 +478,31 @@ func (ps *PointSolver) emitSolve(start time.Time, tNew, h float64, iters int, fl
 	tr.Emit(ev)
 }
 
+// loadCounted pairs a device load performed outside the Newton loop with the
+// same PhaseDeviceLoad event internal/newton emits for its loads, so trace
+// replay stays reconcilable 1:1 with the workspace's bypass counters (the
+// initial-point and warm-start loads can hit the linear template, and the
+// former can even replay journals when the operating point just converged at
+// the same iterate).
+func (ps *PointSolver) loadCounted(x []float64, p circuit.LoadParams) {
+	tr := ps.WS.Trace
+	if !tr.Active() {
+		ps.WS.Load(x, p)
+		return
+	}
+	t0 := time.Now()
+	ps.WS.Load(x, p)
+	ev := trace.Event{
+		Kind: trace.KindPhase, Phase: trace.PhaseDeviceLoad,
+		Dur: time.Since(t0).Nanoseconds(), T: p.Time, Worker: ps.WS.Worker,
+		Iters: int32(ps.WS.LastLoadBypassed()),
+	}
+	if ps.WS.LastLoadLinearHit() {
+		ev.Flags |= trace.FlagLinearHit
+	}
+	tr.Emit(ev)
+}
+
 // WarmStart runs up to maxIter Newton iterations at tNew against the given
 // (possibly speculative) history and returns the resulting approximation
 // regardless of convergence. Forward pipelining uses it to pre-iterate on a
@@ -487,8 +535,10 @@ func (ps *PointSolver) WarmStart(hist *integrate.History, tNew float64, maxIter 
 	// can pick the speculative work up with only a residual rebuild. The
 	// device assembly is history-independent; only qhist will change. The
 	// factorization must be a real one — ResumeSolve's first step assumes an
-	// exact LU at x — so the bypass shortcut is not allowed here.
-	ps.WS.Load(x, p)
+	// exact LU at x — so neither the factorization bypass nor replayed
+	// device stamps are allowed here.
+	ps.WS.DisableBypassOnce()
+	ps.loadCounted(x, p)
 	if err := ps.WS.Solver.FactorizeFresh(); err != nil {
 		return x
 	}
@@ -552,7 +602,7 @@ func (ps *PointSolver) model(start time.Time, loadWall0, loadCrit0, luWall0, luC
 // discretization. pt comes from takePoint and is filled in place.
 func (ps *PointSolver) finishPoint(pt *integrate.Point, tNew float64, co integrate.Coeffs) *integrate.Point {
 	p := circuit.LoadParams{Time: tNew, Alpha0: co.Alpha0, Gmin: ps.Gmin, SrcScale: 1, NoLimit: true}
-	ps.WS.Load(pt.X, p)
+	ps.loadCounted(pt.X, p)
 	pt.T = tNew
 	copy(pt.Q, ps.WS.Q)
 	for i := range pt.Qdot {
@@ -591,7 +641,7 @@ func InitialPoint(sys *circuit.System, ps *PointSolver, opts Options) (*integrat
 			}
 		}
 	}
-	ps.WS.Load(x, circuit.LoadParams{Time: 0, Alpha0: 0, Gmin: opts.Gmin, SrcScale: 1})
+	ps.loadCounted(x, circuit.LoadParams{Time: 0, Alpha0: 0, Gmin: opts.Gmin, SrcScale: 1})
 	return &integrate.Point{
 		T:    0,
 		X:    x,
@@ -686,6 +736,7 @@ func Run(sys *circuit.System, opts Options) (*Result, error) {
 	ps := NewPointSolver(sys, opts.Method, opts.Newton, opts.Gmin)
 	ps.WS.Faults = opts.Faults
 	ps.WS.Solver.BypassTol = opts.BypassTol
+	ps.WS.SetDeviceBypass(opts.DeviceBypassTol, 0)
 	ps.SetTrace(tr, 0)
 	if opts.LoadWorkers > 1 {
 		ps.WS.SetLoadWorkers(opts.LoadWorkers)
@@ -766,6 +817,9 @@ func Run(sys *circuit.System, opts Options) (*Result, error) {
 			// Step shrinking is the cheap first response; once the floor is
 			// reached the convergence-recovery ladder takes over at the
 			// smallest representable step.
+			// A failed solve leaves journals recorded at diverging iterates:
+			// retire them so the retry starts from full evaluations.
+			ps.WS.InvalidateDeviceBypass()
 			if h/8 >= ctrl.HMin {
 				h /= 8
 				continue
@@ -807,6 +861,9 @@ func Run(sys *circuit.System, opts Options) (*Result, error) {
 					tr.Emit(trace.Event{Kind: trace.KindLTEReject, T: tNew, H: co.H0, Norm: norm, Worker: ps.WS.Worker})
 				}
 				h = ctrl.ShrinkOnReject(co.H0, norm, co.Order)
+				// The rejected candidate's journals describe a discarded
+				// trajectory; the retried point must re-evaluate everything.
+				ps.WS.InvalidateDeviceBypass()
 				ps.PutPoint(pt)
 				continue
 			}
@@ -832,6 +889,9 @@ func Run(sys *circuit.System, opts Options) (*Result, error) {
 			for _, dp := range hist.Truncate() {
 				ps.PutPoint(dp)
 			}
+			// Discontinuity: the next point's dynamics bear no relation to
+			// the journals captured before the edge.
+			ps.WS.InvalidateDeviceBypass()
 			gap := opts.TStop - t
 			for _, bp := range bps[nextBp:] {
 				if bp > t*(1+1e-12) {

@@ -173,6 +173,7 @@ func Run(sys *circuit.System, opts Options) (*transient.Result, error) {
 			}
 		}
 		s.WS.Solver.BypassTol = base.BypassTol
+		s.WS.SetDeviceBypass(base.DeviceBypassTol, 0)
 		s.SetTrace(base.Trace, int16(i))
 		e.solvers = append(e.solvers, s)
 	}
@@ -467,9 +468,11 @@ func (e *engine) noteDiscards(t float64, n int) {
 }
 
 // noteReject counts one LTE rejection, pairing the Stats.LTERejects
-// increment with one KindLTEReject event.
+// increment with one KindLTEReject event. A rejected candidate's journals
+// describe a discarded trajectory, so the bypass state is retired with it.
 func (e *engine) noteReject(t, h, norm float64) {
 	e.lteRejects++
+	e.invalidateBypass()
 	if e.tr.Active() {
 		e.tr.Emit(trace.Event{
 			Kind: trace.KindLTEReject, T: t, H: h, Norm: norm,
@@ -490,6 +493,18 @@ func (e *engine) noteOccupancy(t float64, n int) {
 			Kind: trace.KindWorker, T: t, Worker: int16(i),
 			Stage: int32(e.stages), Dur: e.solvers[i].LastNanos,
 		})
+	}
+}
+
+// invalidateBypass retires every solver's device-bypass journals. The
+// coordinator calls it whenever the run's trajectory breaks — rejections,
+// failures, breakpoints — so no pipeline lane replays stamps captured on a
+// discarded path. Each workspace owns an independent generation counter, so
+// concurrent stage workers are never exposed to a mid-flight bump (the
+// coordinator only calls this between parallel phases).
+func (e *engine) invalidateBypass() {
+	for _, s := range e.solvers {
+		s.WS.InvalidateDeviceBypass()
 	}
 }
 
@@ -561,6 +576,7 @@ func (e *engine) serialStage() error {
 		// convergence-recovery ladder as the serial engine.
 		if e.h/8 >= e.ctrl.HMin {
 			e.failStreak++
+			e.invalidateBypass()
 			e.h /= 8
 			return nil
 		}
@@ -608,6 +624,9 @@ func (e *engine) serialStage() error {
 // the restart step from the next breakpoint gap (see transient.RestartStep).
 func (e *engine) handleBreak(lastStep float64) {
 	e.hist.Truncate()
+	// Discontinuity: journals captured before the edge describe dynamics
+	// that no longer exist.
+	e.invalidateBypass()
 	t := e.t()
 	gap := e.base.TStop - t
 	if e.nextBp < len(e.bps) {
@@ -666,6 +685,7 @@ var debugSteps = os.Getenv("WAVEPIPE_DEBUG") != ""
 // the serial fallback, whose recovery ladder is the last word.
 func (e *engine) shrinkAfterFailure() {
 	e.failStreak++
+	e.invalidateBypass()
 	if e.failStreak >= 3 {
 		e.degrade("repeated stage failure")
 	}

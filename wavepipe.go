@@ -341,6 +341,15 @@ type TranOptions struct {
 	// iteration. 0 (the default) disables bypass and keeps waveforms
 	// bit-identical to the always-factorize engine.
 	BypassTol float64
+	// DeviceBypass enables the incremental assembly engine: exactly linear
+	// devices are folded into a cached per-step-size stamp template, and
+	// nonlinear devices whose controlling voltages barely moved since their
+	// last evaluation are answered by replaying their recorded stamps
+	// (SPICE3-style device bypass). The iteration that declares convergence
+	// is always fully evaluated, so accepted waveforms agree with the plain
+	// path within the Newton tolerance band. false (the default) keeps
+	// assembly bit-identical to the always-evaluate engine.
+	DeviceBypass bool
 	// CoreBudget caps the total cores the run may occupy at once across
 	// both scheduling levels. The WavePipe schemes give one core to each
 	// pipeline worker and split the remainder into per-solver gangs that
@@ -486,6 +495,9 @@ func baseOptions(sys *System, opts TranOptions) (transient.Options, error) {
 		LoadMode:   opts.LoadMode,
 		BypassTol:  opts.BypassTol,
 		CoreBudget: opts.CoreBudget,
+	}
+	if opts.DeviceBypass {
+		base.DeviceBypassTol = transient.DefaultDeviceBypassTol
 	}
 	ctrl := integrate.DefaultControl(opts.TStop)
 	if opts.RelTol > 0 {

@@ -15,8 +15,16 @@
 // other extension gets Chrome trace_event JSON (load in chrome://tracing or
 // https://ui.perfetto.dev). With -metrics-addr the run serves live counters
 // over HTTP (Prometheus text at /metrics, JSON elsewhere) while it computes.
-// Interrupting a run (Ctrl-C) cancels it cleanly at the next time point: the
-// partial waveform is still written, and the exit code is 8.
+// Interrupting a run (SIGINT or SIGTERM) cancels it cleanly at the next time
+// point: the partial waveform is still written, and the exit code is 8.
+//
+// Durable runs: -checkpoint FILE snapshots the complete run state to FILE
+// every -checkpoint-every accepted points and once more when the run ends
+// for any reason — including Ctrl-C, SIGTERM, -deadline expiry and watchdog
+// aborts — so -resume FILE can pick the run back up where it stopped (a
+// resumed serial run is bit-identical to an uninterrupted one). -deadline
+// bounds the run's wall-clock time (exit code 9 on expiry); -stall-factor
+// arms a watchdog that aborts a run whose solver has hung (exit code 10).
 package main
 
 import (
@@ -49,6 +57,8 @@ const (
 	exitStepTooSmall  = 6
 	exitWorkerPanic   = 7
 	exitCanceled      = 8
+	exitDeadline      = 9
+	exitStalled       = 10
 )
 
 // exitCodeFor maps an error to its exit code. The step-too-small and
@@ -61,6 +71,10 @@ func exitCodeFor(err error) int {
 		return exitOK
 	case errors.Is(err, wavepipe.ErrCanceled):
 		return exitCanceled
+	case errors.Is(err, wavepipe.ErrDeadlineExceeded):
+		return exitDeadline
+	case errors.Is(err, wavepipe.ErrStalled):
+		return exitStalled
 	case errors.Is(err, wavepipe.ErrStepTooSmall):
 		return exitStepTooSmall
 	case errors.Is(err, wavepipe.ErrWorkerPanic):
@@ -89,6 +103,11 @@ type runConfig struct {
 	loadMode    string
 	tracePath   string
 	metricsAddr string
+	ckptPath    string
+	resumePath  string
+	deadline    string
+	ckptEvery   int
+	stallFactor float64
 	threads     int
 	cores       int
 	bypassTol   float64
@@ -113,6 +132,11 @@ func main() {
 	flag.StringVar(&cfg.loadMode, "loadmode", "auto", "parallel device-assembly strategy: auto, sharded, colored")
 	flag.StringVar(&cfg.tracePath, "trace", "", "write the run's event trace to this file (.jsonl = JSONL event log, anything else = Chrome trace_event JSON)")
 	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve live run metrics over HTTP on this address (Prometheus text at /metrics)")
+	flag.StringVar(&cfg.ckptPath, "checkpoint", "", "write durable run checkpoints to this file (periodic + final, atomic replace)")
+	flag.IntVar(&cfg.ckptEvery, "checkpoint-every", 0, "checkpoint cadence in accepted points (0 = default 256; requires -checkpoint)")
+	flag.StringVar(&cfg.resumePath, "resume", "", "resume the run from this checkpoint file")
+	flag.StringVar(&cfg.deadline, "deadline", "", "wall-clock budget for the run (Go duration, e.g. 30s, 5m); exit 9 on expiry")
+	flag.Float64Var(&cfg.stallFactor, "stall-factor", 0, "abort when no point is accepted within this multiple of the trailing per-point time (0 = off; exit 10)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: wavesim [flags] deck.sp")
@@ -267,6 +291,17 @@ func run(ctx context.Context, cfg runConfig) error {
 		opts.TStop = v
 	}
 	opts.Record = record
+	opts.CheckpointPath = cfg.ckptPath
+	opts.CheckpointEvery = cfg.ckptEvery
+	opts.ResumeFrom = cfg.resumePath
+	opts.StallFactor = cfg.stallFactor
+	if cfg.deadline != "" {
+		d, err := time.ParseDuration(cfg.deadline)
+		if err != nil {
+			return fmt.Errorf("bad -deadline: %w", err)
+		}
+		opts.Deadline = d
+	}
 
 	var rec *wavepipe.TraceRecorder
 	var observers []wavepipe.Observer
@@ -296,9 +331,24 @@ func run(ctx context.Context, cfg runConfig) error {
 		}
 	}
 	if err != nil {
-		if res != nil && errors.Is(err, wavepipe.ErrCanceled) {
-			// A canceled run still delivers the waveform computed so far.
-			fmt.Fprintf(os.Stderr, "wavesim: canceled at %d points; writing partial waveform\n", res.Stats.Points)
+		interrupted := errors.Is(err, wavepipe.ErrCanceled) ||
+			errors.Is(err, wavepipe.ErrDeadlineExceeded) ||
+			errors.Is(err, wavepipe.ErrStalled)
+		if res != nil && interrupted {
+			// An interrupted run (signal, deadline, stall watchdog) still
+			// delivers the waveform computed so far; the engine flushed a
+			// final checkpoint before returning when one is configured.
+			switch {
+			case errors.Is(err, wavepipe.ErrDeadlineExceeded):
+				fmt.Fprintf(os.Stderr, "wavesim: deadline exceeded at %d points; writing partial waveform\n", res.Stats.Points)
+			case errors.Is(err, wavepipe.ErrStalled):
+				fmt.Fprintf(os.Stderr, "wavesim: run stalled at %d points; writing partial waveform\n", res.Stats.Points)
+			default:
+				fmt.Fprintf(os.Stderr, "wavesim: canceled at %d points; writing partial waveform\n", res.Stats.Points)
+			}
+			if cfg.ckptPath != "" {
+				fmt.Fprintf(os.Stderr, "wavesim: checkpoint saved to %s; resume with -resume %s\n", cfg.ckptPath, cfg.ckptPath)
+			}
 			if werr := res.W.WriteCSV(out); werr != nil {
 				return werr
 			}

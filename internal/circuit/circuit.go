@@ -263,6 +263,10 @@ func (s *System) fillOrdering() []int {
 // mutate.
 func (s *System) ColorClasses() [][]int { return s.colorClasses }
 
+// PatternNNZ returns the structural nonzero count of the MNA pattern. It is
+// part of the circuit fingerprint durable checkpoints validate on resume.
+func (s *System) PatternNNZ() int { return s.pattern.NNZ() }
+
 // Workspace owns the mutable buffers one worker needs to assemble and solve
 // the circuit equations: a value clone of the Jacobian, the F/Q/B vectors,
 // the nonlinear limiting state, and a sparse solver with its reusable
@@ -296,6 +300,12 @@ type Workspace struct {
 	// runs — every check site is nil-safe). It is shared by all solver
 	// layers operating on this workspace.
 	Faults *faults.Injector
+
+	// Abort is the run's cooperative stop flag (nil in unguarded runs —
+	// every poll site is nil-safe). The Newton loop polls it once per
+	// iteration so a tripped deadline or watchdog interrupts even a hung
+	// solve at the next iteration boundary.
+	Abort *faults.Abort
 
 	// Trace is the run's event stream (nil when no observer is attached —
 	// every emission site is nil-safe, costing one pointer test). Worker

@@ -438,6 +438,26 @@ func (ws *Workspace) InvalidateDeviceBypass() {
 	}
 }
 
+// BypassGeneration returns the incremental engine's current generation
+// counter (0 when device bypass is disabled). Checkpoints record it and
+// regression tests assert that recovery-ladder escalations advance it.
+func (ws *Workspace) BypassGeneration() uint64 {
+	if ws.inc == nil {
+		return 0
+	}
+	return ws.inc.gen
+}
+
+// RestoreBypassGeneration continues the generation counter from a
+// checkpointed value. Journals are never serialized, so nothing can replay
+// across a resume; restoring the counter only preserves its monotonicity
+// for observability. Values at or below the current counter are ignored.
+func (ws *Workspace) RestoreBypassGeneration(gen uint64) {
+	if ws.inc != nil && gen > ws.inc.gen {
+		ws.inc.gen = gen
+	}
+}
+
 // DisableBypassOnce suppresses journal replay for the next eligible load:
 // the assembly stays incremental (the linear template is exact) but every
 // nonlinear device is fully evaluated and re-journaled. The Newton

@@ -96,6 +96,22 @@ func (h *History) Add(p *Point) *Point {
 	return nil
 }
 
+// RestoreHistory rebuilds a trailing window from checkpointed points. The
+// points must ascend strictly in time; at most the last HistoryDepth are
+// kept, matching what Add would have retained. The history takes ownership
+// of the points.
+func RestoreHistory(pts []*Point) (*History, error) {
+	for i := 1; i < len(pts); i++ {
+		if pts[i].T <= pts[i-1].T {
+			return nil, fmt.Errorf("integrate: restore history: times not ascending at point %d", i)
+		}
+	}
+	if len(pts) > HistoryDepth {
+		pts = pts[len(pts)-HistoryDepth:]
+	}
+	return &History{pts: append([]*Point(nil), pts...)}, nil
+}
+
 // Len returns the number of stored points.
 func (h *History) Len() int { return len(h.pts) }
 

@@ -64,6 +64,11 @@ func Solve(ws *circuit.Workspace, x []float64, p circuit.LoadParams, qhist []flo
 	// so a wildly off LU cannot stall the whole iteration budget.
 	forceFresh := false
 	for iter := 0; iter < opts.MaxIter; iter++ {
+		// Cooperative abort: a tripped deadline or watchdog interrupts even
+		// a hung iteration at the next iteration boundary.
+		if err := ws.Abort.Err(); err != nil {
+			return res, faults.Wrap("newton", p.Time, -1, err)
+		}
 		p.FirstIter = iter == 0
 		loadTraced(ws, x, p)
 		limited := ws.Limited

@@ -42,12 +42,13 @@ const (
 	KindPhase               // a timed sub-phase of a solve (see Phase)
 	KindWorker              // one worker's occupancy span in a pipeline stage
 	KindCancel              // the run observed context cancellation
+	KindCheckpoint          // a durable checkpoint was written (Dur = encode+write time)
 	kindCount
 )
 
 var kindNames = [kindCount]string{
 	"", "predict", "solve", "accept", "lte-reject", "discard",
-	"recovery", "serial-fallback", "phase", "worker", "cancel",
+	"recovery", "serial-fallback", "phase", "worker", "cancel", "checkpoint",
 }
 
 // String returns the stable wire name of the kind.
@@ -247,6 +248,10 @@ func (t *Tracer) Emit(ev Event) {
 		return
 	}
 	t.mu.Lock()
+	// Deferred so a panicking observer cannot strand the mutex: the
+	// facade's containment path emits a final checkpoint event while the
+	// original Emit frame is still unwinding.
+	defer t.mu.Unlock()
 	t.seq++
 	ev.Seq = t.seq
 	ev.Wall = time.Since(t.start).Nanoseconds()
@@ -279,7 +284,6 @@ func (t *Tracer) Emit(ev Event) {
 	if ev.Kind == KindAccept && t.points%t.every == 0 {
 		t.snapshotLocked(ev)
 	}
-	t.mu.Unlock()
 }
 
 // snapshotLocked builds and forwards a snapshot; t.mu must be held.

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"time"
 
+	"wavepipe/internal/checkpoint"
 	"wavepipe/internal/circuit"
 	"wavepipe/internal/dcop"
 	"wavepipe/internal/faults"
@@ -97,6 +98,17 @@ type Options struct {
 	// events, solve-phase timings, periodic snapshots). Nil keeps the hot
 	// path allocation- and clock-read-free.
 	Trace *trace.Tracer
+	// Guard, when non-nil, makes the run durable and time-bound: it owns the
+	// cooperative abort flag (deadline timer, stall watchdog), decides when
+	// periodic checkpoints are due, and persists them. The engine writes a
+	// final checkpoint on every exit path that has at least one accepted
+	// point.
+	Guard *checkpoint.Controller
+	// Resume, when non-nil, is a validated-on-entry checkpoint the run
+	// continues from instead of computing a DC operating point. The caller
+	// must pass the same circuit and analysis options the checkpoint was
+	// written under.
+	Resume *checkpoint.State
 }
 
 // DefaultDeviceBypassTol is the relative tolerance the facade enables
@@ -726,15 +738,17 @@ func IntraProfitable(sys *circuit.System) bool {
 }
 
 // Run executes the serial adaptive transient analysis.
-func Run(sys *circuit.System, opts Options) (*Result, error) {
+func Run(sys *circuit.System, opts Options) (result *Result, runErr error) {
 	if opts.TStop <= 0 {
 		return nil, fmt.Errorf("transient: TStop must be positive")
 	}
 	opts = opts.WithDefaults()
 	ctrl := opts.Control
 	tr := opts.Trace
+	guard := opts.Guard
 	ps := NewPointSolver(sys, opts.Method, opts.Newton, opts.Gmin)
 	ps.WS.Faults = opts.Faults
+	ps.WS.Abort = guard.AbortFlag()
 	ps.WS.Solver.BypassTol = opts.BypassTol
 	ps.WS.SetDeviceBypass(opts.DeviceBypassTol, 0)
 	ps.SetTrace(tr, 0)
@@ -757,33 +771,83 @@ func Run(sys *circuit.System, opts Options) (*Result, error) {
 		}
 	}
 	rl := &RecoveryLog{}
+	var base Stats // totals of run segments before a resume
 	partial := func(w *waveform.Set, hist *integrate.History) *Result {
 		ps.HarvestSolverStats()
-		res := &Result{W: w, Stats: ps.Stats, Recovery: rl}
+		st := ps.Stats
+		st.Add(base)
+		res := &Result{W: w, Stats: st, Recovery: rl}
 		if last := hist.Last(); last != nil {
 			res.FinalX = num.Copy(last.X)
 		}
 		return res
 	}
 
-	p0, err := InitialPoint(sys, ps, opts)
-	if err != nil {
-		return nil, err
-	}
-	hist := &integrate.History{}
-	hist.Add(p0)
-	w := RecordSet(sys, opts)
-	w.Append(p0.T, p0.X)
-
-	bps := CollectBreakpoints(sys, opts.TStop)
-	nextBp := 0
+	var hist *integrate.History
+	var w *waveform.Set
 	h := math.Min(opts.HInit, ctrl.HMax)
 	t := 0.0
 	hUsed := 0.0
 	afterBreak := true // the t=0 point counts as a breakpoint start
+
+	capture := func() *checkpoint.State {
+		ps.HarvestSolverStats()
+		total := ps.Stats
+		total.Add(base)
+		// The serial engine assigns Stages = Solves only at run end; keep
+		// checkpointed totals consistent with that convention.
+		if total.Stages < total.Solves {
+			total.Stages = total.Solves
+		}
+		return CaptureState(sys, ps, &opts, w, rl, hist, total, t, h, hUsed, afterBreak, 0, 0)
+	}
+	// Final checkpoint on every exit path that accepted at least one point —
+	// success, typed abort, cancellation, even a panic unwinding through the
+	// facade's containment. A failed final save on an otherwise-successful
+	// run is an error: the caller asked for durability and did not get it.
+	defer func() {
+		if !guard.Active() || hist == nil || hist.Len() == 0 {
+			return
+		}
+		saveErr := guard.SaveFinal(capture())
+		if runErr == nil && saveErr != nil {
+			runErr = &faults.SimError{Phase: "checkpoint", Time: t, Node: -1, Cause: saveErr}
+		}
+	}()
+
+	if opts.Resume != nil {
+		rs, err := RestoreState(opts.Resume, sys, ps, &opts)
+		if err != nil {
+			return nil, err
+		}
+		hist, w, rl, base = rs.Hist, rs.W, rs.RL, rs.Base
+		t, h, hUsed, afterBreak = rs.T, rs.H, rs.HUsed, rs.AfterBreak
+	} else {
+		p0, err := InitialPoint(sys, ps, opts)
+		if err != nil {
+			return nil, err
+		}
+		hist = &integrate.History{}
+		hist.Add(p0)
+		w = RecordSet(sys, opts)
+		w.Append(p0.T, p0.X)
+	}
+
+	bps := CollectBreakpoints(sys, opts.TStop)
+	nextBp := 0
 	var lteTail []*integrate.Point
+	ckptDue := false
 
 	for t < opts.TStop*(1-1e-12) {
+		if ckptDue {
+			ckptDue = false
+			// Periodic snapshot; a failed write is latched in the controller
+			// but never kills a healthy run.
+			_ = guard.Save(capture())
+		}
+		if aerr := guard.Err(); aerr != nil {
+			return partial(w, hist), &faults.SimError{Phase: "transient", Time: t, Node: -1, Cause: aerr}
+		}
 		if opts.canceled() {
 			if tr.Active() {
 				tr.Emit(trace.Event{Kind: trace.KindCancel, T: t, Worker: -1})
@@ -814,6 +878,12 @@ func Run(sys *circuit.System, opts Options) (*Result, error) {
 
 		pt, co, err := ps.SolveAt(hist, tNew, nil)
 		if err != nil {
+			// A tripped deadline/watchdog surfaces as a solve error (the
+			// Newton loop polls the abort flag); report the abort, not a
+			// convergence failure.
+			if aerr := guard.Err(); aerr != nil {
+				return partial(w, hist), &faults.SimError{Phase: "transient", Time: t, Node: -1, Cause: aerr}
+			}
 			// Step shrinking is the cheap first response; once the floor is
 			// reached the convergence-recovery ladder takes over at the
 			// smallest representable step.
@@ -832,6 +902,9 @@ func Run(sys *circuit.System, opts Options) (*Result, error) {
 			}
 			pt, co, err = ps.RecoverAt(hist, tNew, rl)
 			if err != nil {
+				if aerr := guard.Err(); aerr != nil {
+					return partial(w, hist), &faults.SimError{Phase: "transient", Time: t, Node: -1, Cause: aerr}
+				}
 				return partial(w, hist), &faults.SimError{
 					Phase: "transient", Time: t, Node: -1,
 					Cause: fmt.Errorf("%w at t=%g: %w", faults.ErrStepTooSmall, t, err),
@@ -874,11 +947,16 @@ func Run(sys *circuit.System, opts Options) (*Result, error) {
 		ps.PutPoint(hist.Add(pt))
 		w.Append(pt.T, pt.X)
 		ps.Stats.Points++
+		t = pt.T
+		hUsed = co.H0
+		if guard.NoteAccept() {
+			ckptDue = true // snapshot at the top of the next iteration
+		}
+		// Emitted only after t/hist/waveform agree: a panic unwinding out of
+		// this callback flushes a checkpoint, which must see a committed step.
 		if tr.Active() {
 			tr.Emit(trace.Event{Kind: trace.KindAccept, T: pt.T, H: co.H0, Norm: norm, Worker: ps.WS.Worker})
 		}
-		t = pt.T
-		hUsed = co.H0
 
 		if hitBp {
 			// Restart integration after the discontinuity: derivative
@@ -919,5 +997,7 @@ func Run(sys *circuit.System, opts Options) (*Result, error) {
 	last := hist.Last()
 	ps.Stats.Stages = ps.Stats.Solves // serial: every solve is sequential
 	ps.HarvestSolverStats()
-	return &Result{W: w, Stats: ps.Stats, FinalX: num.Copy(last.X), Recovery: rl}, nil
+	final := ps.Stats
+	final.Add(base)
+	return &Result{W: w, Stats: final, FinalX: num.Copy(last.X), Recovery: rl}, nil
 }

@@ -31,6 +31,28 @@ func NewSet(names []string, index []int) *Set {
 	return &Set{Names: names, Index: index}
 }
 
+// Restore rebuilds a set from previously recorded samples (a checkpoint),
+// ready for further Append calls. It validates the shape invariants Append
+// maintains — matching lengths, row width, strictly ascending times — and
+// takes ownership of the given slices.
+func Restore(names []string, index []int, times []float64, data [][]float64) (*Set, error) {
+	if len(names) != len(index) {
+		return nil, fmt.Errorf("waveform: restore: %d names vs %d indices", len(names), len(index))
+	}
+	if len(times) != len(data) {
+		return nil, fmt.Errorf("waveform: restore: %d times vs %d rows", len(times), len(data))
+	}
+	for k, row := range data {
+		if len(row) != len(names) {
+			return nil, fmt.Errorf("waveform: restore: row %d has %d values, want %d", k, len(row), len(names))
+		}
+		if k > 0 && times[k] <= times[k-1] {
+			return nil, fmt.Errorf("waveform: restore: times not ascending at sample %d", k)
+		}
+	}
+	return &Set{Names: names, Index: index, Times: times, Data: data}, nil
+}
+
 // Append records the selected entries of the full solution vector x at time
 // t. Samples must arrive in ascending time order.
 func (s *Set) Append(t float64, x []float64) {

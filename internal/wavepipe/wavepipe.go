@@ -36,6 +36,7 @@ import (
 	"sync"
 	"time"
 
+	"wavepipe/internal/checkpoint"
 	"wavepipe/internal/circuit"
 	"wavepipe/internal/faults"
 	"wavepipe/internal/integrate"
@@ -127,20 +128,21 @@ func (o Options) withDefaults() Options {
 
 // Run executes a WavePipe transient analysis and returns a result of the
 // same shape as the serial engine's.
-func Run(sys *circuit.System, opts Options) (*transient.Result, error) {
+func Run(sys *circuit.System, opts Options) (result *transient.Result, runErr error) {
 	if opts.Base.TStop <= 0 {
 		return nil, fmt.Errorf("wavepipe: TStop must be positive")
 	}
 	opts = opts.withDefaults()
 	base := opts.Base.WithDefaults()
 	e := &engine{
-		sys:  sys,
-		opts: opts,
-		base: base,
-		ctrl: base.Control,
-		rl:   &transient.RecoveryLog{},
-		flt:  base.Faults,
-		tr:   base.Trace,
+		sys:   sys,
+		opts:  opts,
+		base:  base,
+		ctrl:  base.Control,
+		rl:    &transient.RecoveryLog{},
+		flt:   base.Faults,
+		tr:    base.Trace,
+		guard: base.Guard,
 	}
 	// Two-level budget split: one core per pipeline worker first, then the
 	// remainder divided into equal per-solver intra-point gangs. Small
@@ -160,6 +162,7 @@ func Run(sys *circuit.System, opts Options) (*transient.Result, error) {
 	for i := 0; i < opts.Threads; i++ {
 		s := transient.NewPointSolver(sys, base.Method, base.Newton, base.Gmin)
 		s.WS.Faults = base.Faults
+		s.WS.Abort = e.guard.AbortFlag()
 		if base.LoadWorkers > 1 {
 			s.WS.SetLoadWorkers(base.LoadWorkers)
 			s.WS.SetLoadMode(base.LoadMode)
@@ -183,19 +186,57 @@ func Run(sys *circuit.System, opts Options) (*transient.Result, error) {
 		}
 	}()
 
-	p0, err := transient.InitialPoint(sys, e.solvers[0], base)
-	if err != nil {
-		return nil, err
+	// Final checkpoint on every exit path that has at least one accepted
+	// point (see the serial engine's identical contract).
+	defer func() {
+		if !e.guard.Active() || e.hist == nil || e.hist.Len() == 0 {
+			return
+		}
+		saveErr := e.guard.SaveFinal(e.capture())
+		if runErr == nil && saveErr != nil {
+			runErr = &faults.SimError{Phase: "checkpoint", Time: e.t(), Node: -1, Cause: saveErr}
+		}
+	}()
+
+	if base.Resume != nil {
+		rs, err := transient.RestoreState(base.Resume, sys, e.solvers[0], &base)
+		if err != nil {
+			return nil, err
+		}
+		// Lane 0 received the limiting/factorization state; the other lanes
+		// adopt the limiting state (invalidating their journals). Pipelined
+		// resume is equivalence-tolerance, not bit-identical: only the
+		// serial engine's solve order is reproducible.
+		for _, s := range e.solvers[1:] {
+			s.WS.CopyStateFrom(e.solvers[0].WS)
+		}
+		e.hist, e.w, e.rl = rs.Hist, rs.W, rs.RL
+		e.baseStats = rs.Base
+		e.h, e.afterBreak, e.warmup = rs.H, rs.AfterBreak, rs.Warmup
+	} else {
+		p0, err := transient.InitialPoint(sys, e.solvers[0], base)
+		if err != nil {
+			return nil, err
+		}
+		e.hist = &integrate.History{}
+		e.hist.Add(p0)
+		e.w = transient.RecordSet(sys, base)
+		e.w.Append(p0.T, p0.X)
+		e.h = math.Min(base.HInit, e.ctrl.HMax)
+		e.afterBreak = true
 	}
-	e.hist = &integrate.History{}
-	e.hist.Add(p0)
-	e.w = transient.RecordSet(sys, base)
-	e.w.Append(p0.T, p0.X)
 	e.bps = transient.CollectBreakpoints(sys, base.TStop)
-	e.h = math.Min(base.HInit, e.ctrl.HMax)
-	e.afterBreak = true
 
 	for e.t() < base.TStop*(1-1e-12) {
+		if e.ckptDue {
+			e.ckptDue = false
+			// Periodic snapshot at a committed stage boundary; a failed
+			// write is latched in the controller, not fatal.
+			_ = e.guard.Save(e.capture())
+		}
+		if aerr := e.guard.Err(); aerr != nil {
+			return e.result(), &faults.SimError{Phase: "wavepipe", Time: e.t(), Node: -1, Cause: aerr}
+		}
 		if base.Ctx != nil {
 			select {
 			case <-base.Ctx.Done():
@@ -233,11 +274,41 @@ func Run(sys *circuit.System, opts Options) (*transient.Result, error) {
 			err = e.backwardStage()
 		}
 		if err != nil {
+			// A tripped deadline/watchdog can surface as a stage failure
+			// (the Newton loops poll the abort flag); report the abort.
+			if aerr := e.guard.Err(); aerr != nil {
+				return e.result(), &faults.SimError{Phase: "wavepipe", Time: e.t(), Node: -1, Cause: aerr}
+			}
 			return e.result(), err
 		}
 	}
 
 	return e.result(), nil
+}
+
+// capture snapshots the engine at a committed stage boundary. Lane 0 holds
+// the authoritative limiting/factorization state: it computes every main
+// point and every serial-fallback point.
+func (e *engine) capture() *checkpoint.State {
+	total := transient.Stats{}
+	for _, s := range e.solvers {
+		s.HarvestSolverStats()
+		total.Add(s.Stats)
+	}
+	total.Points = e.points
+	total.LTERejects = e.lteRejects
+	total.Discarded = e.discarded
+	total.Stages = e.stages
+	total.WorkerPanics = e.workerPanics
+	total.DegradedStages = e.degradedStages
+	total.CriticalNanos = e.critNanos
+	total.Add(e.baseStats)
+	hUsed := 0.0
+	if n := e.hist.Len(); n >= 2 {
+		hUsed = e.hist.At(n-1).T - e.hist.At(n-2).T
+	}
+	return transient.CaptureState(e.sys, e.solvers[0], &e.base, e.w, e.rl, e.hist,
+		total, e.t(), e.h, hUsed, e.afterBreak, e.warmup, 1)
 }
 
 // result assembles the (possibly partial) run outcome from the engine state.
@@ -265,6 +336,7 @@ func (e *engine) result() *transient.Result {
 		}
 	}
 	stats.PipelineSerialized = e.pipelineSerialized
+	stats.Add(e.baseStats)
 	return &transient.Result{W: e.w, Stats: stats, FinalX: num.Copy(e.hist.Last().X), Recovery: e.rl}
 }
 
@@ -302,6 +374,13 @@ type engine struct {
 	flt        *faults.Injector
 	degraded   int
 	failStreak int
+
+	// Durability state: the run's guard (nil when unguarded), whether a
+	// periodic checkpoint is due at the next committed stage boundary, and
+	// the stats baseline carried over from before a resume.
+	guard     *checkpoint.Controller
+	ckptDue   bool
+	baseStats transient.Stats
 
 	// tr is the run's event stream (nil when untraced; every emission site
 	// is nil-safe). Counter-bearing emissions go through the accept /
@@ -454,6 +533,11 @@ func (e *engine) accept(pt *integrate.Point) {
 	e.w.Append(pt.T, pt.X)
 	e.points++
 	e.failStreak = 0
+	if e.guard.NoteAccept() {
+		// Mid-stage accept: snapshot at the next committed stage boundary,
+		// never between the parallel phases of one stage.
+		e.ckptDue = true
+	}
 }
 
 // noteDiscards counts n speculative points thrown away unused, pairing each

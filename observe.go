@@ -54,6 +54,7 @@ const (
 	TraceKindPhase          = trace.KindPhase          // timed solve sub-phase
 	TraceKindWorker         = trace.KindWorker         // worker occupancy span
 	TraceKindCancel         = trace.KindCancel         // context cancellation observed
+	TraceKindCheckpoint     = trace.KindCheckpoint     // durable checkpoint written
 )
 
 // Solve sub-phases of TraceKindPhase events.

@@ -24,7 +24,9 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
+	"wavepipe/internal/checkpoint"
 	"wavepipe/internal/circuit"
 	"wavepipe/internal/device"
 	"wavepipe/internal/faults"
@@ -103,6 +105,19 @@ var (
 	// when the context is canceled mid-run; the partial Result up to the
 	// last completed time point is returned alongside it.
 	ErrCanceled = faults.ErrCanceled
+	// ErrDeadlineExceeded is returned (wrapped in a SimError) when the run
+	// overruns TranOptions.Deadline; like cancellation, the partial Result is
+	// returned alongside it and a final checkpoint is flushed first when
+	// checkpointing is configured.
+	ErrDeadlineExceeded = faults.ErrDeadlineExceeded
+	// ErrStalled is returned (wrapped in a SimError) when the watchdog
+	// detects that no time point has been accepted for far longer than the
+	// run's trailing per-point pace (see TranOptions.StallFactor).
+	ErrStalled = faults.ErrStalled
+	// ErrBadCheckpoint is returned (wrapped in a SimError) when a checkpoint
+	// file is truncated, corrupted, from an incompatible version, or does not
+	// match the circuit and options of the resuming run.
+	ErrBadCheckpoint = faults.ErrBadCheckpoint
 )
 
 // NewFaultInjector builds a fault harness from the given rules.
@@ -371,6 +386,34 @@ type TranOptions struct {
 	// SnapshotEvery is the metrics snapshot cadence in accepted points
 	// (default 128; only meaningful with an Observer).
 	SnapshotEvery int
+	// Deadline is a wall-clock budget for the run. When positive, a run
+	// exceeding it is aborted at the next solver boundary: the partial
+	// Result is returned with an error satisfying
+	// errors.Is(err, ErrDeadlineExceeded), and a final checkpoint is
+	// flushed first when CheckpointPath is set. 0 (the default) means no
+	// deadline.
+	Deadline time.Duration
+	// CheckpointPath enables durable checkpoints: the complete run state at
+	// accepted-step boundaries is atomically written to this file every
+	// CheckpointEvery accepted points and once more when the run ends for
+	// any reason (success, cancellation, deadline, stall, panic). A serial
+	// run resumed from such a checkpoint replays bit-identically to an
+	// uninterrupted one. Empty (the default) disables checkpointing.
+	CheckpointPath string
+	// CheckpointEvery is the periodic snapshot cadence in accepted points
+	// (default 256). Requires CheckpointPath.
+	CheckpointEvery int
+	// ResumeFrom resumes the run from a checkpoint file previously written
+	// via CheckpointPath. The checkpoint must match the circuit (unknown
+	// count, state count, device count, matrix pattern), TStop and Method of
+	// this run; any mismatch or corruption yields ErrBadCheckpoint.
+	ResumeFrom string
+	// StallFactor arms the stall watchdog: the run is aborted with
+	// ErrStalled when no time point has been accepted for longer than
+	// StallFactor times the trailing exponentially-weighted per-point time
+	// (never sooner than one second). Values below 2 are clamped to 2.
+	// 0 (the default) disables the watchdog.
+	StallFactor float64
 }
 
 // validate rejects option values that would otherwise flow silently into
@@ -398,6 +441,21 @@ func (o TranOptions) validate() error {
 	if o.CoreBudget > 1024 {
 		return fmt.Errorf("wavepipe: CoreBudget %d is not a plausible core count (max 1024)", o.CoreBudget)
 	}
+	if o.Deadline < 0 {
+		return fmt.Errorf("wavepipe: Deadline must not be negative (got %v)", o.Deadline)
+	}
+	if o.CheckpointEvery < 0 {
+		return fmt.Errorf("wavepipe: CheckpointEvery must not be negative (got %d)", o.CheckpointEvery)
+	}
+	if o.CheckpointEvery > 0 && o.CheckpointPath == "" {
+		return fmt.Errorf("wavepipe: CheckpointEvery requires CheckpointPath")
+	}
+	if math.IsNaN(o.StallFactor) {
+		return fmt.Errorf("wavepipe: StallFactor must not be NaN")
+	}
+	if o.StallFactor < 0 {
+		return fmt.Errorf("wavepipe: StallFactor must not be negative (got %g)", o.StallFactor)
+	}
 	return nil
 }
 
@@ -420,6 +478,13 @@ func RunTransient(sys *System, opts TranOptions) (*Result, error) {
 // computed so far is returned together with a typed error satisfying
 // errors.Is(err, ErrCanceled). When opts.Observer is non-nil the run streams
 // structured telemetry into it (see TranOptions.Observer).
+//
+// Durability: TranOptions.CheckpointPath / Deadline / StallFactor arm a run
+// guard that snapshots state at accepted-step boundaries and aborts overdue
+// or stalled runs with a typed error (ErrDeadlineExceeded, ErrStalled); a
+// panic escaping any engine layer is contained here and converted into an
+// ErrWorkerPanic-wrapped error with the Result salvaged from the last
+// retained snapshot. See TranOptions.ResumeFrom for restarting a run.
 func RunTransientCtx(ctx context.Context, sys *System, opts TranOptions) (*Result, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
@@ -430,6 +495,53 @@ func RunTransientCtx(ctx context.Context, sys *System, opts TranOptions) (*Resul
 	}
 	base.Ctx = ctx
 	base.Trace = trace.New(opts.Observer, opts.SnapshotEvery)
+
+	var ctl *checkpoint.Controller
+	if opts.CheckpointPath != "" || opts.Deadline > 0 || opts.StallFactor > 0 {
+		ctl = checkpoint.NewController(checkpoint.Config{
+			Path:        opts.CheckpointPath,
+			Every:       opts.CheckpointEvery,
+			Deadline:    opts.Deadline,
+			StallFactor: opts.StallFactor,
+		})
+		ctl.SetTracer(base.Trace)
+		base.Guard = ctl
+	}
+	if opts.ResumeFrom != "" {
+		st, lerr := checkpoint.Load(opts.ResumeFrom)
+		if lerr != nil {
+			return nil, lerr
+		}
+		base.Resume = st
+	}
+	if ctl != nil {
+		ctl.Start()
+		defer ctl.Stop()
+	}
+	res, err := runEngine(sys, opts, base)
+	if res == nil && err != nil && ctl != nil {
+		// A panic (or any failure that kept the engine from returning its
+		// partial result) still salvages the last snapshot the guard kept.
+		res = transient.SalvageResult(ctl.Retained())
+	}
+	return res, err
+}
+
+// runEngine dispatches to the selected engine with panic containment: a
+// panic escaping any engine layer becomes an ErrWorkerPanic-wrapped typed
+// error instead of tearing down the process, so the caller still receives
+// the salvaged partial Result and any final checkpoint the deferred save
+// flushed during unwinding.
+func runEngine(sys *System, opts TranOptions, base transient.Options) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = &faults.SimError{
+				Phase: "transient", Node: -1,
+				Cause: fmt.Errorf("%w: engine panic: %v", faults.ErrWorkerPanic, r),
+			}
+		}
+	}()
 	switch opts.Scheme {
 	case Serial:
 		return transient.Run(sys, base)

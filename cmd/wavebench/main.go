@@ -44,7 +44,7 @@ var (
 
 func main() {
 	table := flag.Int("table", 0, "regenerate table N (1-4)")
-	fig := flag.String("fig", "", "regenerate figure: stepsize, accuracy, scaling, work, fwp, ablation, loadscale, corescale, bypassscale")
+	fig := flag.String("fig", "", "regenerate figure: stepsize, accuracy, scaling, work, fwp, ablation, loadscale, corescale, bypassscale, lanescale")
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON metrics (see -bench, -bypasstol)")
 	benchName := flag.String("bench", "grid16", "circuit for -json, -fig corescale and -fig bypassscale (a suite name, or all)")
@@ -108,6 +108,13 @@ func main() {
 	}
 	if *fig == "bypassscale" {
 		if err := figBypassScale(*benchName, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "wavebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fig == "lanescale" {
+		if err := figLaneScale(*jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "wavebench:", err)
 			os.Exit(1)
 		}

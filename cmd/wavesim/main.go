@@ -110,6 +110,8 @@ type runConfig struct {
 	stallFactor float64
 	threads     int
 	cores       int
+	lanes       int
+	sweep       string
 	bypassTol   float64
 	devBypass   bool
 	stats       bool
@@ -137,6 +139,8 @@ func main() {
 	flag.StringVar(&cfg.resumePath, "resume", "", "resume the run from this checkpoint file")
 	flag.StringVar(&cfg.deadline, "deadline", "", "wall-clock budget for the run (Go duration, e.g. 30s, 5m); exit 9 on expiry")
 	flag.Float64Var(&cfg.stallFactor, "stall-factor", 0, "abort when no point is accepted within this multiple of the trailing per-point time (0 = off; exit 10)")
+	flag.IntVar(&cfg.lanes, "lanes", 0, "run N parameter-variant lanes as one batched ensemble (0 = off; requires -analysis tran)")
+	flag.StringVar(&cfg.sweep, "sweep", "", "sweep spec NAME=lo:hi for -lanes: NAME is a .PARAM name or a device instance (R/C/L/V/I), lanes get linearly spaced values")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: wavesim [flags] deck.sp")
@@ -320,6 +324,10 @@ func run(ctx context.Context, cfg runConfig) error {
 		opts.Observer = wavepipe.MultiObserver(observers...)
 	}
 
+	if cfg.lanes != 0 || cfg.sweep != "" {
+		return runLanes(ctx, cfg, deck, opts, out, rec)
+	}
+
 	start := time.Now()
 	res, err := wavepipe.RunDeckCtx(ctx, deck, opts)
 	wall := time.Since(start)
@@ -394,6 +402,117 @@ func run(ctx context.Context, cfg runConfig) error {
 		}
 	}
 	return nil
+}
+
+// parseSweep splits a -sweep spec NAME=lo:hi into its parts; the bounds
+// accept SPICE magnitude suffixes (4.7k, 20f).
+func parseSweep(spec string) (name string, lo, hi float64, err error) {
+	eq := strings.IndexByte(spec, '=')
+	if eq <= 0 {
+		return "", 0, 0, fmt.Errorf("bad -sweep %q: want NAME=lo:hi", spec)
+	}
+	name = spec[:eq]
+	bounds := strings.Split(spec[eq+1:], ":")
+	if len(bounds) != 2 {
+		return "", 0, 0, fmt.Errorf("bad -sweep %q: want NAME=lo:hi", spec)
+	}
+	if lo, err = netlist.ParseValue(bounds[0]); err != nil {
+		return "", 0, 0, fmt.Errorf("bad -sweep lower bound: %w", err)
+	}
+	if hi, err = netlist.ParseValue(bounds[1]); err != nil {
+		return "", 0, 0, fmt.Errorf("bad -sweep upper bound: %w", err)
+	}
+	return name, lo, hi, nil
+}
+
+// runLanes is the batched-ensemble path (-lanes / -sweep): K variants of
+// the deck run in lockstep sharing one symbolic analysis, and each lane's
+// waveform is written as its own CSV section under a "# lane" header.
+func runLanes(ctx context.Context, cfg runConfig, deck *wavepipe.Deck, opts wavepipe.TranOptions, out *os.File, rec *wavepipe.TraceRecorder) error {
+	k := cfg.lanes
+	if k == 0 {
+		k = 8 // -sweep without -lanes: a reasonable corner count
+	}
+	if k < 2 {
+		return fmt.Errorf("-lanes must be at least 2 (got %d)", cfg.lanes)
+	}
+	variants := make([]wavepipe.LaneSpec, k)
+	if cfg.sweep != "" {
+		name, lo, hi, err := parseSweep(cfg.sweep)
+		if err != nil {
+			return err
+		}
+		// A .PARAM name sweeps through re-elaboration (dependent expressions
+		// track it); anything else must be a single-valued device instance.
+		_, isParam := deck.Params[strings.ToLower(name)]
+		for i := range variants {
+			v := lo + (hi-lo)*float64(i)/float64(k-1)
+			variants[i].Name = fmt.Sprintf("%s=%g", name, v)
+			if isParam {
+				variants[i].Params = map[string]float64{name: v}
+			} else {
+				variants[i].Devices = map[string]float64{name: v}
+			}
+		}
+	} else {
+		for i := range variants {
+			variants[i].Name = fmt.Sprintf("lane%d", i)
+		}
+	}
+
+	start := time.Now()
+	res, err := wavepipe.RunEnsembleCtx(ctx, deck, variants, opts)
+	wall := time.Since(start)
+	if rec != nil && cfg.tracePath != "" {
+		if terr := writeTrace(cfg.tracePath, rec); terr != nil {
+			fmt.Fprintln(os.Stderr, "wavesim: trace:", terr)
+		}
+	}
+	if err != nil {
+		return err
+	}
+
+	var firstErr error
+	for _, lr := range res.Lanes {
+		if lr.Err != nil {
+			fmt.Fprintf(os.Stderr, "wavesim: lane %s: %v\n", lr.Name, lr.Err)
+			if firstErr == nil {
+				firstErr = lr.Err
+			}
+		}
+		if lr.Res == nil {
+			continue
+		}
+		w := lr.Res.W
+		if cfg.interval != "" {
+			dt, err := netlist.ParseValue(cfg.interval)
+			if err != nil {
+				return fmt.Errorf("bad -interval: %w", err)
+			}
+			if w, err = w.Resample(dt); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(out, "# lane %s\n", lr.Name)
+		if err := w.WriteCSV(out); err != nil {
+			return err
+		}
+	}
+	if cfg.stats {
+		fmt.Fprintf(os.Stderr,
+			"wavesim: ensemble %s | lanes=%d workers=%d rounds=%d points=%d nr-iters=%d recoveries=%d crit=%s wall=%s\n",
+			deck.Title, len(res.Lanes), res.Stats.PipelineWorkers, res.Rounds,
+			res.Stats.Points, res.Stats.NRIters, res.Stats.Recoveries,
+			time.Duration(res.Stats.CriticalNanos).Round(time.Microsecond),
+			wall.Round(time.Microsecond))
+		for _, lr := range res.Lanes {
+			if lr.Err == nil {
+				fmt.Fprintf(os.Stderr, "wavesim:   %s: points=%d nr-iters=%d\n",
+					lr.Name, lr.Res.Stats.Points, lr.Res.Stats.NRIters)
+			}
+		}
+	}
+	return firstErr
 }
 
 // writeAC renders an AC result as CSV: frequency, then magnitude (dB) and

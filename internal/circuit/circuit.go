@@ -170,9 +170,13 @@ func (c *Circuit) Build() (*System, error) {
 	}, nil
 }
 
-// Reserver hands out Jacobian pattern slots during Build.
+// Reserver hands out Jacobian pattern slots during Build. In lookup mode
+// (BindLanes) it resolves slots against a frozen host pattern instead of a
+// Builder, recording the first miss as a structural-mismatch error.
 type Reserver struct {
 	b           *sparse.Builder
+	lookup      *sparse.Matrix
+	lookupErr   error
 	current     Device
 	devIdx      int
 	devRows     [][]int // per-device rows named in J calls (coloring footprint)
@@ -196,6 +200,16 @@ func (r *Reserver) J(row, col int) int {
 		return -1
 	}
 	r.touchedRows = append(r.touchedRows, row)
+	if r.lookup != nil {
+		slot := r.lookup.SlotAt(row, col)
+		if slot < 0 && r.lookupErr == nil {
+			r.lookupErr = fmt.Errorf("stamp (%d,%d) not in host pattern", row, col)
+		}
+		r.devSlots[r.devIdx] = append(r.devSlots[r.devIdx], slot)
+		r.devSlotRows[r.devIdx] = append(r.devSlotRows[r.devIdx], row)
+		r.devSlotCols[r.devIdx] = append(r.devSlotCols[r.devIdx], col)
+		return slot
+	}
 	slot := r.b.Reserve(row, col)
 	r.devSlots[r.devIdx] = append(r.devSlots[r.devIdx], slot)
 	r.devSlotRows[r.devIdx] = append(r.devSlotRows[r.devIdx], row)
@@ -250,10 +264,13 @@ type System struct {
 }
 
 // fillOrdering returns the shared fill-reducing ordering, computing it on
-// first use. Safe for concurrent callers.
+// first use. Safe for concurrent callers. The computation goes through the
+// sparse-level ordering cache, so sequential Builds of an identical deck
+// (and the lanes of an ensemble) reuse one minimum-degree analysis instead
+// of recomputing it per System.
 func (s *System) fillOrdering() []int {
 	s.colPermOnce.Do(func() {
-		s.colPerm = sparse.ComputeOrdering(s.pattern, sparse.OrderMinDegree)
+		s.colPerm = sparse.SharedOrdering(s.pattern, sparse.OrderMinDegree)
 	})
 	return s.colPerm
 }
@@ -319,6 +336,10 @@ type Workspace struct {
 	// classes serially (identical results, no spinning). Race tests use it to
 	// exercise the concurrent path regardless of GOMAXPROCS.
 	ForceParallelLoad bool
+
+	// devs, when non-nil, overrides the device list the serial assembly
+	// paths evaluate (see SetDevices in lanes.go — ensemble lane variants).
+	devs []Device
 
 	loadWorkers int
 	loadMode    LoadMode
@@ -464,7 +485,7 @@ func (ws *Workspace) Load(x []float64, p LoadParams) {
 		Q:         ws.Q,
 		B:         ws.B,
 	}
-	for _, d := range ws.Sys.Circuit.devices {
+	for _, d := range ws.deviceList() {
 		d.Eval(ctx)
 	}
 	ws.Limited = ctx.Limited
@@ -536,7 +557,7 @@ func (ws *Workspace) LoadSplit(x []float64, p LoadParams) {
 		Q:         ws.Q,
 		B:         ws.B,
 	}
-	for _, d := range ws.Sys.Circuit.devices {
+	for _, d := range ws.deviceList() {
 		d.Eval(ctx)
 	}
 	ws.Limited = ctx.Limited

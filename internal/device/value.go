@@ -1,0 +1,48 @@
+package device
+
+// SingleValued is implemented by devices characterized by one principal
+// value — R, C, L, or a DC source level. Parameter sweeps and ensemble
+// variants use it to perturb an instance without re-parsing a netlist.
+// SetValue must be called only while the device is not being evaluated
+// (between runs, or on a variant circuit before it is handed to an engine).
+type SingleValued interface {
+	// Value returns the principal value. For sources driving a
+	// time-varying waveform it reports the t = 0 level.
+	Value() float64
+	// SetValue replaces the principal value, recomputing any derived
+	// internal state. For sources it installs a DC waveform at v.
+	SetValue(v float64)
+}
+
+// Value returns the resistance.
+func (d *Resistor) Value() float64 { return d.R }
+
+// SetValue replaces the resistance, recomputing the cached conductance.
+func (d *Resistor) SetValue(v float64) {
+	d.R = v
+	d.g = 1 / v
+}
+
+// Value returns the capacitance.
+func (d *Capacitor) Value() float64 { return d.C }
+
+// SetValue replaces the capacitance.
+func (d *Capacitor) SetValue(v float64) { d.C = v }
+
+// Value returns the inductance.
+func (d *Inductor) Value() float64 { return d.L }
+
+// SetValue replaces the inductance.
+func (d *Inductor) SetValue(v float64) { d.L = v }
+
+// Value returns the source level at t = 0.
+func (d *VSource) Value() float64 { return d.W.At(0) }
+
+// SetValue replaces the waveform with a constant (alias of SetDC).
+func (d *VSource) SetValue(v float64) { d.SetDC(v) }
+
+// Value returns the source level at t = 0.
+func (d *ISource) Value() float64 { return d.W.At(0) }
+
+// SetValue replaces the waveform with a constant (alias of SetDC).
+func (d *ISource) SetValue(v float64) { d.SetDC(v) }

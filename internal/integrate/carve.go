@@ -1,0 +1,20 @@
+package integrate
+
+// CarvePoints carves count points of system size n out of one contiguous
+// backing buffer: point i's X, Q and Qdot occupy adjacent n-slices of
+// buf[i·3n : (i+1)·3n]. The ensemble engine uses it to lay each lane's
+// history ring and candidate points into a struct-of-arrays block strided
+// by lane. buf must have length ≥ count·3·n; slices are capacity-capped so
+// appends never bleed across points.
+func CarvePoints(buf []float64, count, n int) []*Point {
+	pts := make([]*Point, count)
+	for i := range pts {
+		b := buf[i*3*n : (i+1)*3*n]
+		pts[i] = &Point{
+			X:    b[0:n:n],
+			Q:    b[n : 2*n : 2*n],
+			Qdot: b[2*n : 3*n : 3*n],
+		}
+	}
+	return pts
+}

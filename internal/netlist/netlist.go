@@ -48,6 +48,11 @@ type Deck struct {
 	ICs      map[string]float64 // node name -> initial voltage (.IC)
 	NodeSets map[string]float64 // node name -> OP initial guess (.NODESET)
 	Options  map[string]float64 // lower-cased .OPTIONS entries
+	Params   map[string]float64 // resolved .PARAM values (lower-cased names)
+	// Src retains the deck text Parse consumed, so variant decks (ensemble
+	// lanes with .PARAM overrides) can be re-elaborated without the caller
+	// keeping the source around.
+	Src string
 }
 
 // FindSource returns the named independent voltage source (for .DC sweeps
@@ -65,6 +70,15 @@ func (d *Deck) FindSource(name string) (*device.VSource, bool) {
 // Parse reads a SPICE deck. Following the SPICE convention, the first
 // non-blank line is always the title (a leading '*' is stripped from it).
 func Parse(input string) (*Deck, error) {
+	return ParseParams(input, nil)
+}
+
+// ParseParams is Parse with .PARAM overrides: entries in over (names are
+// case-insensitive) are pre-seeded and locked, so a .PARAM card in the deck
+// cannot overwrite them — but expressions referencing the parameter resolve
+// to the override. Ensemble lanes and -sweep use it to elaborate variants
+// of one deck.
+func ParseParams(input string, over map[string]float64) (*Deck, error) {
 	p := &parser{
 		deck: &Deck{
 			ICs:      make(map[string]float64),
@@ -77,6 +91,15 @@ func Parse(input string) (*Deck, error) {
 		inducts: make(map[string]*device.Inductor),
 		params:  make(map[string]float64),
 	}
+	if len(over) > 0 {
+		p.locked = make(map[string]bool, len(over))
+		for k, v := range over {
+			lk := strings.ToLower(k)
+			p.params[lk] = v
+			p.locked[lk] = true
+		}
+	}
+	p.deck.Src = input
 	p.deck.Circuit = circuit.New("")
 	lines, title := preprocess(input)
 	p.deck.Title = title
@@ -139,6 +162,7 @@ func Parse(input string) (*Deck, error) {
 			return nil, err
 		}
 	}
+	p.deck.Params = p.params
 	return p.deck, nil
 }
 
@@ -214,6 +238,7 @@ type parser struct {
 	sources  map[string]*device.VSource
 	inducts  map[string]*device.Inductor
 	params   map[string]float64
+	locked   map[string]bool // override-seeded params a .PARAM card cannot redefine
 }
 
 // parseParam handles ".PARAM name=expr ..." definitions; expressions may
@@ -232,7 +257,9 @@ func (p *parser) parseParam(ln string) error {
 		if err != nil {
 			return err
 		}
-		p.params[strings.ToLower(kv[0])] = v
+		if name := strings.ToLower(kv[0]); !p.locked[name] {
+			p.params[name] = v
+		}
 	}
 	return nil
 }

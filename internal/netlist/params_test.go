@@ -1,0 +1,66 @@
+package netlist
+
+import (
+	"testing"
+
+	"wavepipe/internal/device"
+)
+
+const paramDeck = `param override fixture
+.param rval=1k cval={rval*1e-15}
+V1 in 0 DC 1
+R1 in out {rval}
+C1 out 0 {cval}
+.tran 1n 10n
+.end
+`
+
+// ParseParams overrides must win over the deck's .PARAM cards and flow
+// through dependent expressions, while the deck text itself is retained
+// for further re-elaboration.
+func TestParseParamsOverrides(t *testing.T) {
+	nominal, err := Parse(paramDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nominal.Params["rval"]; got != 1e3 {
+		t.Fatalf("nominal rval = %g, want 1k", got)
+	}
+	if nominal.Src != paramDeck {
+		t.Fatal("deck source not retained")
+	}
+
+	over, err := ParseParams(paramDeck, map[string]float64{"RVAL": 4.7e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r *device.Resistor
+	var c *device.Capacitor
+	for _, d := range over.Circuit.Devices() {
+		switch el := d.(type) {
+		case *device.Resistor:
+			r = el
+		case *device.Capacitor:
+			c = el
+		}
+	}
+	if r == nil || r.R != 4.7e3 {
+		t.Fatalf("override did not reach R1: %+v", r)
+	}
+	// The dependent parameter must re-evaluate against the override.
+	if c == nil || c.C != 4.7e3*1e-15 {
+		t.Fatalf("dependent cval did not track override: %+v", c)
+	}
+	if got := over.Params["rval"]; got != 4.7e3 {
+		t.Fatalf("resolved rval = %g, want 4.7k", got)
+	}
+
+	// Re-elaborating from the retained source reproduces the nominal deck.
+	again, err := ParseParams(over.Src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := again.Params["rval"]; got != 1e3 {
+		t.Fatalf("re-elaborated rval = %g, want nominal 1k", got)
+	}
+}

@@ -1,0 +1,77 @@
+package newton
+
+import (
+	"fmt"
+
+	"wavepipe/internal/circuit"
+	"wavepipe/internal/faults"
+	"wavepipe/internal/num"
+)
+
+// Lockstep support: the ensemble engine batches the device-load phase of
+// one Newton iteration across K lanes (circuit.BatchLoad) and then runs the
+// per-lane remainder of the iteration through StepLoaded. The split only
+// exists for workspaces with every bypass path disabled (BypassTol = 0, no
+// device bypass): that collapses Solve's body to a single sequence whose
+// per-lane floating-point operations StepLoaded reproduces exactly, so a
+// lane's lockstep iterate is bit-identical to its own serial Solve.
+
+// DefaultMaxIter is the iteration limit Solve applies when Options.MaxIter
+// is unset.
+const DefaultMaxIter = 50
+
+// EntryFault replicates Solve's entry fault-injection check: the error it
+// returns (nil in production, where ws.Faults is nil) is what Solve would
+// have failed with before its first iteration.
+func EntryFault(ws *circuit.Workspace, t float64) error {
+	if cls, ok := ws.Faults.At(faults.SiteNewton, t); ok && cls == faults.NoConvergence {
+		return faults.Wrap("newton", t, -1, fmt.Errorf("%w (injected)", ErrNoConvergence))
+	}
+	return nil
+}
+
+// NoConvergenceErr is the error Solve reports when the iteration budget is
+// exhausted; the lockstep driver raises it itself because it owns the loop.
+func NoConvergenceErr(t float64, maxIter int) error {
+	return faults.Wrap("newton", t, -1,
+		fmt.Errorf("%w after %d iterations", ErrNoConvergence, maxIter))
+}
+
+// StepLoaded runs the post-assembly remainder of Newton iteration iter —
+// residual, factorize + solve, damped update, limiting-state flip and the
+// convergence test — on a workspace whose Load at x (with p.FirstIter set
+// for this iteration) was already performed by the caller's batched
+// assembly. It mirrors Solve's loop body with factorization bypass
+// structurally absent; using it on a workspace with BypassTol > 0 or device
+// bypass enabled is a programming error. done reports convergence; a
+// non-nil err is terminal for this point.
+func StepLoaded(ws *circuit.Workspace, x []float64, p circuit.LoadParams, qhist []float64, opts Options, r, dx []float64, iter int) (done bool, err error) {
+	if err := ws.Abort.Err(); err != nil {
+		return false, faults.Wrap("newton", p.Time, -1, err)
+	}
+	limited := ws.Limited
+	ws.Residual(p.Alpha0, qhist, r)
+	if err := factorAndSolve(ws, p.Time, r, dx, false); err != nil {
+		return false, faults.Wrap("newton", p.Time, -1, fmt.Errorf("iteration %d: %w", iter, err))
+	}
+	maxRatio := applyUpdate(x, dx, opts)
+	ws.FlipState()
+	if i := num.NonFiniteIndex(x); i >= 0 {
+		return false, faults.Wrap("newton", p.Time, i,
+			fmt.Errorf("%w in iterate after %d iterations", faults.ErrNonFinite, iter+1))
+	}
+	if maxRatio <= 1 && !limited {
+		if opts.ResidualTol > 0 {
+			// Rare certification path: the residual must come from a fresh
+			// assembly at the candidate iterate. This lane falls out of the
+			// batched cadence for one serial load, exactly as Solve does.
+			ws.Load(x, p)
+			ws.Residual(p.Alpha0, qhist, r)
+			if num.MaxAbs(r) > opts.ResidualTol {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	return false, nil
+}

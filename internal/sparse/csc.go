@@ -169,6 +169,38 @@ func (m *Matrix) SlotPos(slot int) int {
 	return m.slotPos[slot]
 }
 
+// SlotAt returns the builder slot index stored at (row, col), or -1 if the
+// pattern has no entry there. The ensemble engine uses it to replay a
+// structurally identical circuit's Reserve calls against a frozen host
+// pattern, so variant devices obtain slot ids valid on every clone of that
+// pattern. O(log nnz(col)).
+func (m *Matrix) SlotAt(row, col int) int {
+	if row < 0 || row >= m.n || col < 0 || col >= m.n {
+		return -1
+	}
+	lo, hi := m.ColPtr[col], m.ColPtr[col+1]
+	p := lo + sort.SearchInts(m.RowIdx[lo:hi], row)
+	if p < hi && m.RowIdx[p] == row {
+		return m.slot[p]
+	}
+	return -1
+}
+
+// CloneWithValues is Clone with a caller-supplied value array, so a batch of
+// lane matrices can stride one contiguous backing block (struct-of-arrays
+// layout). vals must have length NNZ; it is zeroed and adopted, not copied.
+func (m *Matrix) CloneWithValues(vals []float64) *Matrix {
+	if len(vals) != len(m.Values) {
+		panic(fmt.Sprintf("sparse: CloneWithValues needs len %d, got %d", len(m.Values), len(vals)))
+	}
+	for i := range vals {
+		vals[i] = 0
+	}
+	c := *m
+	c.Values = vals
+	return &c
+}
+
 // At returns the value at (row, col), or 0 if the slot is not part of the
 // pattern. Intended for tests and diagnostics; O(log nnz(col)).
 func (m *Matrix) At(row, col int) float64 {

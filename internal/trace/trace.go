@@ -43,12 +43,14 @@ const (
 	KindWorker              // one worker's occupancy span in a pipeline stage
 	KindCancel              // the run observed context cancellation
 	KindCheckpoint          // a durable checkpoint was written (Dur = encode+write time)
+	KindLaneRetire          // an ensemble lane detached from the gang (Detail = reason)
 	kindCount
 )
 
 var kindNames = [kindCount]string{
 	"", "predict", "solve", "accept", "lte-reject", "discard",
 	"recovery", "serial-fallback", "phase", "worker", "cancel", "checkpoint",
+	"lane-retire",
 }
 
 // String returns the stable wire name of the kind.

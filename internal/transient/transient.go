@@ -665,8 +665,12 @@ func InitialPoint(sys *circuit.System, ps *PointSolver, opts Options) (*integrat
 // CollectBreakpoints gathers the waveform breakpoints of every device, plus
 // tstop itself, sorted and deduplicated.
 func CollectBreakpoints(sys *circuit.System, tstop float64) []float64 {
+	return collectBreakpoints(sys.Circuit.Devices(), tstop)
+}
+
+func collectBreakpoints(devs []circuit.Device, tstop float64) []float64 {
 	var bps []float64
-	for _, d := range sys.Circuit.Devices() {
+	for _, d := range devs {
 		if b, ok := d.(Breakpointer); ok {
 			bps = append(bps, b.Breakpoints(tstop)...)
 		}

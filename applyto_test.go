@@ -105,16 +105,24 @@ func TestApplyToUICFromOptions(t *testing.T) {
 }
 
 // TestApplyToNoTranNoTStop: a deck without .TRAN and options without TStop
-// is an error, not a zero-length run.
+// is an error, not a zero-length run. ApplyTo itself only merges — the
+// rejection comes from the single validation path when the run starts.
 func TestApplyToNoTranNoTStop(t *testing.T) {
 	d, err := wavepipe.ParseDeck("no tran\nV1 in 0 DC 1\nR1 in 0 1k\n.end\n")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, aerr := d.ApplyTo(wavepipe.TranOptions{}); aerr == nil {
+	merged, aerr := d.ApplyTo(wavepipe.TranOptions{})
+	if aerr != nil {
+		t.Fatalf("ApplyTo is a pure merge and must not error: %v", aerr)
+	}
+	if merged.TStop != 0 {
+		t.Fatalf("TStop = %g, want 0 (deck has no .TRAN)", merged.TStop)
+	}
+	if _, rerr := wavepipe.RunDeck(d, wavepipe.TranOptions{}); rerr == nil {
 		t.Fatal("expected an error for missing .TRAN and TStop")
-	} else if !strings.Contains(aerr.Error(), ".TRAN") {
-		t.Fatalf("unhelpful error: %v", aerr)
+	} else if !strings.Contains(rerr.Error(), ".TRAN") {
+		t.Fatalf("unhelpful error: %v", rerr)
 	}
 	// But an explicit TStop rescues it.
 	got, aerr := d.ApplyTo(wavepipe.TranOptions{TStop: 1e-6})

@@ -25,6 +25,13 @@
 // resumed serial run is bit-identical to an uninterrupted one). -deadline
 // bounds the run's wall-clock time (exit code 9 on expiry); -stall-factor
 // arms a watchdog that aborts a run whose solver has hung (exit code 10).
+//
+// Service mode: -remote URL submits the deck to a running wavesimd instance
+// instead of simulating in-process — the same flags shape the job's options,
+// and -stats additionally reports the job id and whether the daemon served
+// the compiled circuit from its artifact cache. -json switches transient
+// output from CSV to the versioned wire JSON document (wavepipe/wire
+// schemaVersion 1), the same schema the service speaks.
 package main
 
 import (
@@ -36,12 +43,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"wavepipe"
+	"wavepipe/client"
 	"wavepipe/internal/netlist"
+	"wavepipe/wire"
 )
 
 // Exit codes, one per error-taxonomy sentinel, so scripts can branch on the
@@ -115,6 +125,9 @@ type runConfig struct {
 	bypassTol   float64
 	devBypass   bool
 	stats       bool
+	jsonOut     bool
+	remote      string
+	priority    int
 }
 
 func main() {
@@ -139,6 +152,9 @@ func main() {
 	flag.StringVar(&cfg.resumePath, "resume", "", "resume the run from this checkpoint file")
 	flag.StringVar(&cfg.deadline, "deadline", "", "wall-clock budget for the run (Go duration, e.g. 30s, 5m); exit 9 on expiry")
 	flag.Float64Var(&cfg.stallFactor, "stall-factor", 0, "abort when no point is accepted within this multiple of the trailing per-point time (0 = off; exit 10)")
+	flag.BoolVar(&cfg.jsonOut, "json", false, "write transient results as versioned wire JSON instead of CSV")
+	flag.StringVar(&cfg.remote, "remote", "", "submit the deck to a wavesimd service at this base URL instead of simulating locally")
+	flag.IntVar(&cfg.priority, "priority", 0, "job priority for -remote (higher runs first)")
 	flag.IntVar(&cfg.lanes, "lanes", 0, "run N parameter-variant lanes as one batched ensemble (0 = off; requires -analysis tran)")
 	flag.StringVar(&cfg.sweep, "sweep", "", "sweep spec NAME=lo:hi for -lanes: NAME is a .PARAM name or a device instance (R/C/L/V/I), lanes get linearly spaced values")
 	flag.Parse()
@@ -233,6 +249,14 @@ func run(ctx context.Context, cfg runConfig) error {
 		out = f
 	}
 
+	if cfg.jsonOut {
+		switch strings.ToLower(cfg.analysis) {
+		case "tran", "":
+		default:
+			return fmt.Errorf("-json supports only -analysis tran")
+		}
+	}
+
 	switch strings.ToLower(cfg.analysis) {
 	case "ac":
 		res, err := wavepipe.RunDeckAC(deck, wavepipe.ACOptions{Record: record})
@@ -307,6 +331,16 @@ func run(ctx context.Context, cfg runConfig) error {
 		opts.Deadline = d
 	}
 
+	if cfg.remote != "" {
+		if cfg.lanes != 0 || cfg.sweep != "" {
+			return fmt.Errorf("-remote does not support -lanes/-sweep")
+		}
+		if cfg.tracePath != "" || cfg.metricsAddr != "" || cfg.ckptPath != "" || cfg.resumePath != "" {
+			return fmt.Errorf("the service manages checkpoints and traces itself; drop -trace/-metrics-addr/-checkpoint/-resume with -remote")
+		}
+		return runRemote(ctx, cfg, string(src), opts, out)
+	}
+
 	var rec *wavepipe.TraceRecorder
 	var observers []wavepipe.Observer
 	if cfg.tracePath != "" {
@@ -357,7 +391,7 @@ func run(ctx context.Context, cfg runConfig) error {
 			if cfg.ckptPath != "" {
 				fmt.Fprintf(os.Stderr, "wavesim: checkpoint saved to %s; resume with -resume %s\n", cfg.ckptPath, cfg.ckptPath)
 			}
-			if werr := res.W.WriteCSV(out); werr != nil {
+			if werr := writeTranResult(out, res, cfg); werr != nil {
 				return werr
 			}
 			return err
@@ -366,17 +400,7 @@ func run(ctx context.Context, cfg runConfig) error {
 		return err
 	}
 
-	w := res.W
-	if cfg.interval != "" {
-		dt, err := netlist.ParseValue(cfg.interval)
-		if err != nil {
-			return fmt.Errorf("bad -interval: %w", err)
-		}
-		if w, err = w.Resample(dt); err != nil {
-			return err
-		}
-	}
-	if err := w.WriteCSV(out); err != nil {
+	if err := writeTranResult(out, res, cfg); err != nil {
 		return err
 	}
 	if cfg.stats {
@@ -402,6 +426,68 @@ func run(ctx context.Context, cfg runConfig) error {
 		}
 	}
 	return nil
+}
+
+// writeTranResult renders a transient result: -interval resampling first,
+// then either the versioned wire JSON document (-json) or CSV.
+func writeTranResult(out *os.File, res *wavepipe.Result, cfg runConfig) error {
+	w := res.W
+	if cfg.interval != "" {
+		dt, err := netlist.ParseValue(cfg.interval)
+		if err != nil {
+			return fmt.Errorf("bad -interval: %w", err)
+		}
+		if w, err = w.Resample(dt); err != nil {
+			return err
+		}
+	}
+	if cfg.jsonOut {
+		r := *res
+		r.W = w
+		return wire.Encode(out, wire.FromResult(&r))
+	}
+	return w.WriteCSV(out)
+}
+
+// runRemote ships the deck to a wavesimd instance and renders the result
+// exactly as a local run would. The service owns checkpointing, preemption
+// and artifact reuse; this path only submits, waits, and prints.
+func runRemote(ctx context.Context, cfg runConfig, src string, opts wavepipe.TranOptions, out *os.File) error {
+	c, err := client.New(cfg.remote, nil)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	st, err := c.Submit(ctx, wavepipe.JobSpec{
+		Deck:     src,
+		Options:  opts,
+		Priority: cfg.priority,
+		Label:    filepath.Base(cfg.deckPath),
+	})
+	if err != nil {
+		return err
+	}
+	if cfg.stats {
+		fmt.Fprintf(os.Stderr, "wavesim: remote job %s at %s cache-hit=%v\n",
+			st.ID, cfg.remote, st.CacheHit)
+	}
+	res, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		if res != nil {
+			fmt.Fprintf(os.Stderr, "wavesim: remote job %s failed (%v); writing partial waveform\n", st.ID, err)
+			if werr := writeTranResult(out, res, cfg); werr != nil {
+				return werr
+			}
+		}
+		return err
+	}
+	if cfg.stats {
+		if final, serr := c.Status(ctx, st.ID); serr == nil {
+			fmt.Fprintf(os.Stderr, "wavesim: remote job %s done: points=%d cores=%d resumes=%d\n",
+				final.ID, final.Points, final.Cores, final.Resumes)
+		}
+	}
+	return writeTranResult(out, res, cfg)
 }
 
 // parseSweep splits a -sweep spec NAME=lo:hi into its parts; the bounds

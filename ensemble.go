@@ -53,6 +53,10 @@ type EnsembleResult = ensemble.Result
 // Scheme must be Serial (lanes are whole-waveform units — the WavePipe
 // schemes parallelize inside one waveform and do not compose with lane
 // batching), and durability, bypass and fault options are not supported.
+//
+// Deprecated: new code should call RunEnsembleCtx — the context-first core
+// every facade entry point now funnels through. This wrapper is kept so
+// existing callers keep compiling.
 func RunEnsemble(d *Deck, variants []LaneSpec, opts TranOptions) (*EnsembleResult, error) {
 	return RunEnsembleCtx(context.Background(), d, variants, opts)
 }

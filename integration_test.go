@@ -23,6 +23,7 @@ var deckProbe = map[string]string{
 	"flyback.sp":       "out",
 	"ecl_gate.sp":      "out",
 	"subckt_filter.sp": "out",
+	"grid16.sp":        "n8_8",
 }
 
 // edgeDecks holds circuits with regenerative gain stages, where pointwise

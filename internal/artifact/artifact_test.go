@@ -1,0 +1,128 @@
+package artifact
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+const rcDeck = `* rc lowpass
+V1 in 0 1
+R1 in out 1k
+C1 out 0 1n
+.tran 1n 10n
+.end
+`
+
+// Same deck, different formatting: extra whitespace, comments, lower case.
+const rcDeckReformatted = `* rc lowpass, reformatted
+v1   in 0   1
+* a comment between cards
+r1 in out 1k
+c1 out 0 1n
+.tran 1n 10n
+.end
+`
+
+func TestCompileHitSharesSystem(t *testing.T) {
+	c := New(4)
+	e1, hit, err := c.Compile(rcDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first compile reported a cache hit")
+	}
+	e2, hit, err := c.Compile(rcDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("second compile of the same deck missed the cache")
+	}
+	if e1.Sys != e2.Sys {
+		t.Fatal("cache hit did not reuse the compiled System")
+	}
+	if hits, misses, builds := c.Counters(); hits != 1 || misses != 1 || builds != 1 {
+		t.Fatalf("counters = (hits %d, misses %d, builds %d), want (1, 1, 1)", hits, misses, builds)
+	}
+}
+
+func TestCanonicalizationIgnoresFormatting(t *testing.T) {
+	c := New(4)
+	e1, _, err := c.Compile(rcDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, hit, err := c.Compile(rcDeckReformatted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("reformatted deck missed the cache: canonicalization is format-sensitive")
+	}
+	if e1.Sys != e2.Sys {
+		t.Fatal("reformatted deck built a second System")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	deck := func(i int) string {
+		return fmt.Sprintf("* d%d\nV1 in 0 1\nR1 in 0 %dk\n.tran 1n 10n\n.end\n", i, i+1)
+	}
+	for i := 0; i < 3; i++ {
+		if _, hit, err := c.Compile(deck(i)); err != nil || hit {
+			t.Fatalf("deck %d: hit=%v err=%v", i, hit, err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want bound 2", c.Len())
+	}
+	// Deck 0 was the least recently used and must have been evicted.
+	if _, hit, _ := c.Compile(deck(0)); hit {
+		t.Fatal("evicted entry still answered a hit")
+	}
+	// Deck 2 is still resident.
+	if _, hit, _ := c.Compile(deck(2)); !hit {
+		t.Fatal("recent entry was evicted")
+	}
+}
+
+func TestCountersReconcileWithBuilds(t *testing.T) {
+	c := New(8)
+	const goroutines, rounds = 8, 10
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if _, _, err := c.Compile(rcDeck); err != nil {
+					t.Errorf("compile: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	hits, misses, builds := c.Counters()
+	if hits+misses != goroutines*rounds {
+		t.Fatalf("hits %d + misses %d != lookups %d", hits, misses, goroutines*rounds)
+	}
+	if builds != misses {
+		t.Fatalf("builds %d != misses %d (all builds succeed in this test)", builds, misses)
+	}
+	if hits == 0 {
+		t.Fatal("no hits across identical concurrent submissions")
+	}
+}
+
+func TestParseErrorNotCached(t *testing.T) {
+	c := New(4)
+	if _, _, err := c.Compile("R1 in out\n.end\n"); err == nil {
+		t.Fatal("malformed deck compiled")
+	}
+	if c.Len() != 0 {
+		t.Fatal("error result was cached")
+	}
+}

@@ -275,6 +275,13 @@ func (s *System) fillOrdering() []int {
 	return s.colPerm
 }
 
+// Prewarm eagerly computes the lazily derived artifacts that every run of
+// this System shares — today the fill-reducing column ordering (the coloring
+// and device footprints are already fixed at Build). The artifact cache
+// calls it on insert so a cache hit skips straight to timestepping without
+// paying the symbolic analysis on its first factorization.
+func (s *System) Prewarm() { s.fillOrdering() }
+
 // ColorClasses returns the conflict-free device classes computed at Build
 // time (nil when unavailable). The outer slice is indexed by color; do not
 // mutate.

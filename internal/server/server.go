@@ -1,0 +1,177 @@
+// Package server is the HTTP adapter of the simulation service: a thin,
+// schema-checked layer that exposes any wavepipe.Client — normally the
+// in-process *wavepipe.Service — over the versioned wire JSON API that
+// wavepipe/client speaks. All simulation logic (queueing, preemption,
+// artifact caching) lives behind the Client interface; this package only
+// translates HTTP ⇄ wire.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs             submit a deck (wire.JobRequest → wire.JobStatus)
+//	GET    /v1/jobs/{id}        snapshot a job (wire.JobStatus)
+//	GET    /v1/jobs/{id}/result block until terminal, return wire.Result
+//	GET    /v1/jobs/{id}/stream NDJSON: one header line, then accepted rows
+//	DELETE /v1/jobs/{id}        cancel (idempotent)
+//	GET    /metrics             Prometheus text (engine + service rows)
+package server
+
+import (
+	"errors"
+	"io"
+	"net/http"
+
+	"wavepipe"
+	"wavepipe/wire"
+)
+
+// Config assembles a handler.
+type Config struct {
+	// Client executes the jobs (required). Passing an HTTP client here
+	// makes the server a relay; passing *wavepipe.Service serves locally.
+	Client wavepipe.Client
+	// Metrics, when non-nil, serves GET /metrics by writing Prometheus
+	// text (normally (*wavepipe.Service).WritePrometheus).
+	Metrics func(w io.Writer) error
+}
+
+// New returns the HTTP handler for the service API.
+func New(cfg Config) http.Handler {
+	h := &handler{cfg: cfg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", h.submit)
+	mux.HandleFunc("GET /v1/jobs/{id}", h.status)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", h.result)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", h.stream)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", h.cancel)
+	mux.HandleFunc("GET /metrics", h.metrics)
+	return mux
+}
+
+type handler struct {
+	cfg Config
+}
+
+// fail writes the uniform wire error body with the status the error maps
+// to: unknown job → 404, admission rejection → 429, everything else the
+// caller's default (400 for request shaping, 500 for execution).
+func fail(w http.ResponseWriter, err error, fallback int) {
+	code := fallback
+	switch {
+	case errors.Is(err, wavepipe.ErrUnknownJob):
+		code = http.StatusNotFound
+	case errors.Is(err, wavepipe.ErrQueueFull):
+		code = http.StatusTooManyRequests
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = wire.Encode(w, wire.Error{SchemaVersion: wire.SchemaVersion, Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = wire.Encode(w, v)
+}
+
+func (h *handler) submit(w http.ResponseWriter, r *http.Request) {
+	req, err := wire.DecodeJobRequest(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		fail(w, err, http.StatusBadRequest)
+		return
+	}
+	spec := wavepipe.JobSpec{Deck: req.Deck, Priority: req.Priority, Label: req.Label}
+	if req.Options != nil {
+		opts, oerr := req.Options.ToTranOptions()
+		if oerr != nil {
+			fail(w, oerr, http.StatusBadRequest)
+			return
+		}
+		spec.Options = opts
+	}
+	st, err := h.cfg.Client.Submit(r.Context(), spec)
+	if err != nil {
+		fail(w, err, http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, wire.JobStatus{SchemaVersion: wire.SchemaVersion, JobStatus: st})
+}
+
+func (h *handler) status(w http.ResponseWriter, r *http.Request) {
+	st, err := h.cfg.Client.Status(r.Context(), r.PathValue("id"))
+	if err != nil {
+		fail(w, err, http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.JobStatus{SchemaVersion: wire.SchemaVersion, JobStatus: st})
+}
+
+func (h *handler) result(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	res, err := h.cfg.Client.Wait(r.Context(), id)
+	if err != nil && res == nil {
+		// Pure failure with nothing salvaged (includes unknown IDs and a
+		// client that went away mid-wait).
+		fail(w, err, http.StatusInternalServerError)
+		return
+	}
+	out := wire.FromResult(res)
+	if out == nil {
+		out = &wire.Result{SchemaVersion: wire.SchemaVersion}
+	}
+	out.SchemaVersion = wire.SchemaVersion
+	if err != nil {
+		out.Err = err.Error()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (h *handler) stream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, err := h.cfg.Client.Status(r.Context(), id)
+	if err != nil {
+		fail(w, err, http.StatusInternalServerError)
+		return
+	}
+	ch, err := h.cfg.Client.Stream(r.Context(), id)
+	if err != nil {
+		fail(w, err, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if wire.Encode(w, wire.StreamHeader{SchemaVersion: wire.SchemaVersion, Signals: st.Signals}) != nil {
+		return
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	for p := range ch {
+		if wire.Encode(w, p) != nil {
+			// Client went away: unblock the producer by draining.
+			for range ch {
+			}
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (h *handler) cancel(w http.ResponseWriter, r *http.Request) {
+	if err := h.cfg.Client.Cancel(r.Context(), r.PathValue("id")); err != nil {
+		fail(w, err, http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.Error{SchemaVersion: wire.SchemaVersion})
+}
+
+func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
+	if h.cfg.Metrics == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = h.cfg.Metrics(w)
+}

@@ -109,6 +109,14 @@ type Options struct {
 	// must pass the same circuit and analysis options the checkpoint was
 	// written under.
 	Resume *checkpoint.State
+	// OnAccept, when non-nil, observes every accepted time point right after
+	// it is committed to the waveform set: t is the point's time and row the
+	// recorded values in waveform column order. The row aliases the set's
+	// storage — callers that retain it past the callback must copy. Called
+	// from the engine's commit goroutine only, in time order, never after
+	// Run returns. A resumed run does not re-emit points restored from the
+	// checkpoint.
+	OnAccept func(t float64, row []float64)
 }
 
 // DefaultDeviceBypassTol is the relative tolerance the facade enables
@@ -835,6 +843,9 @@ func Run(sys *circuit.System, opts Options) (result *Result, runErr error) {
 		hist.Add(p0)
 		w = RecordSet(sys, opts)
 		w.Append(p0.T, p0.X)
+		if opts.OnAccept != nil {
+			opts.OnAccept(p0.T, w.Data[len(w.Data)-1])
+		}
 	}
 
 	bps := CollectBreakpoints(sys, opts.TStop)
@@ -950,6 +961,9 @@ func Run(sys *circuit.System, opts Options) (result *Result, runErr error) {
 		// out of the bounded window can be recycled into the next solve.
 		ps.PutPoint(hist.Add(pt))
 		w.Append(pt.T, pt.X)
+		if opts.OnAccept != nil {
+			opts.OnAccept(pt.T, w.Data[len(w.Data)-1])
+		}
 		ps.Stats.Points++
 		t = pt.T
 		hUsed = co.H0

@@ -222,6 +222,9 @@ func Run(sys *circuit.System, opts Options) (result *transient.Result, runErr er
 		e.hist.Add(p0)
 		e.w = transient.RecordSet(sys, base)
 		e.w.Append(p0.T, p0.X)
+		if base.OnAccept != nil {
+			base.OnAccept(p0.T, e.w.Data[len(e.w.Data)-1])
+		}
 		e.h = math.Min(base.HInit, e.ctrl.HMax)
 		e.afterBreak = true
 	}
@@ -531,6 +534,9 @@ func (e *engine) accept(pt *integrate.Point) {
 	}
 	e.hist.Add(pt)
 	e.w.Append(pt.T, pt.X)
+	if e.base.OnAccept != nil {
+		e.base.OnAccept(pt.T, e.w.Data[len(e.w.Data)-1])
+	}
 	e.points++
 	e.failStreak = 0
 	if e.guard.NoteAccept() {

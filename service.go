@@ -1,0 +1,548 @@
+package wavepipe
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"wavepipe/internal/artifact"
+	"wavepipe/internal/sched"
+	"wavepipe/internal/trace"
+	"wavepipe/internal/transient"
+)
+
+// ErrUnknownJob is returned by Status/Wait/Stream/Cancel for an ID the
+// service never issued.
+var ErrUnknownJob = errors.New("wavepipe: unknown job")
+
+// ErrQueueFull is returned by Submit when the service's admission control
+// rejects a job because the wait queue is at capacity. Retry later; the
+// HTTP layer maps it to 429.
+var ErrQueueFull = sched.ErrQueueFull
+
+// ServiceConfig sizes an in-process simulation service.
+type ServiceConfig struct {
+	// Cores is the global core budget every concurrent job draws grants
+	// from (default: GOMAXPROCS). The sum of all running jobs' core grants
+	// never exceeds it.
+	Cores int
+	// MaxQueued bounds the admission queue (default 64); beyond it Submit
+	// fails fast with ErrQueueFull.
+	MaxQueued int
+	// CacheSize bounds the compiled-artifact cache in decks (default 16).
+	CacheSize int
+	// Dir receives per-job state: preemption checkpoints and (with
+	// TraceJobs) per-job JSONL traces. Empty means a temporary directory
+	// removed on Close.
+	Dir string
+	// TraceJobs writes each job's structured telemetry to Dir/<id>.trace.jsonl
+	// when the job ends.
+	TraceJobs bool
+}
+
+// Service runs simulations as jobs inside this process: a global
+// multi-tenant arbiter multiplexes every submission over one core budget
+// (priorities, fair share, preemption at accepted-step boundaries via
+// checkpoint/resume), and a compiled-artifact cache hands repeat decks
+// their System build, fill ordering, coloring and stamp templates without
+// re-running symbolic analysis. Service implements Client; cmd/wavesimd
+// serves the same object over HTTP.
+type Service struct {
+	cfg     ServiceConfig
+	arb     *sched.Arbiter
+	cache   *artifact.Cache
+	metrics *trace.Metrics
+	dir     string
+	ownDir  bool
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	seq    int
+	closed bool
+	wg     sync.WaitGroup
+
+	submitted atomic.Int64
+	finished  atomic.Int64
+	rejected  atomic.Int64
+}
+
+// job is the service-side state of one submission.
+type job struct {
+	id     string
+	spec   JobSpec
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu       sync.Mutex
+	state    JobState
+	cores    int
+	resumes  int
+	cacheHit bool
+	signals  []string
+	rows     []StreamPoint
+	update   chan struct{} // closed and replaced on every state/row change
+	res      *Result
+	err      error
+	canceled bool // user asked; distinguishes cancel from preemption
+}
+
+// NewService starts an in-process simulation service.
+func NewService(cfg ServiceConfig) (*Service, error) {
+	if cfg.Cores <= 0 {
+		cfg.Cores = runtime.GOMAXPROCS(0)
+	}
+	dir, ownDir := cfg.Dir, false
+	if dir == "" {
+		d, err := os.MkdirTemp("", "wavesimd-*")
+		if err != nil {
+			return nil, fmt.Errorf("wavepipe: service dir: %w", err)
+		}
+		dir, ownDir = d, true
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wavepipe: service dir: %w", err)
+	}
+	if cfg.MaxQueued <= 0 {
+		cfg.MaxQueued = 64
+	}
+	return &Service{
+		cfg: cfg,
+		// Admission is enforced at Submit (below), where it can fail fast
+		// and count only new jobs. The arbiter's own bound is left effectively
+		// unbounded so a preempted job's re-acquire — already admitted work —
+		// can never be bounced by admission control.
+		arb: sched.NewArbiter(cfg.Cores, 1<<30),
+		cache:   artifact.New(cfg.CacheSize),
+		metrics: trace.NewMetrics(),
+		dir:     dir,
+		ownDir:  ownDir,
+		jobs:    make(map[string]*job),
+	}, nil
+}
+
+// Metrics returns the service-wide engine telemetry aggregate (the same
+// counters the /metrics endpoint exposes).
+func (s *Service) Metrics() *TraceMetrics { return s.metrics }
+
+// Submit compiles the deck (through the artifact cache), merges its cards
+// into the options, and enqueues the job with the global arbiter. It
+// returns as soon as the job is queued; the returned status carries the
+// job ID and whether the compiled artifacts were reused.
+func (s *Service) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
+	if spec.Deck == "" {
+		return JobStatus{}, fmt.Errorf("wavepipe: Submit: empty deck")
+	}
+	if err := managedFieldsZero(spec.Options); err != nil {
+		return JobStatus{}, err
+	}
+	entry, hit, err := s.cache.Compile(spec.Deck)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	merged, err := (*Deck)(entry.Deck).ApplyTo(spec.Options)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	if err := merged.validate(); err != nil {
+		return JobStatus{}, err
+	}
+	base, err := baseOptions(entry.Sys, merged)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	signals := transient.RecordSet(entry.Sys, base).Names
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return JobStatus{}, errors.New("wavepipe: service closed")
+	}
+	queued := 0
+	for _, q := range s.jobs {
+		q.mu.Lock()
+		if q.state == JobQueued {
+			queued++
+		}
+		q.mu.Unlock()
+	}
+	if queued >= s.cfg.MaxQueued {
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return JobStatus{}, fmt.Errorf("%w (%d jobs waiting)", ErrQueueFull, queued)
+	}
+	s.seq++
+	jctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		id:       fmt.Sprintf("j%06d", s.seq),
+		spec:     spec,
+		ctx:      jctx,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		state:    JobQueued,
+		cacheHit: hit,
+		signals:  signals,
+		update:   make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	s.wg.Add(1)
+	s.mu.Unlock()
+	s.submitted.Add(1)
+
+	go s.run(j, entry, merged)
+	return s.status(j), nil
+}
+
+// managedFieldsZero rejects option fields the service owns.
+func managedFieldsZero(o TranOptions) error {
+	switch {
+	case o.CheckpointPath != "" || o.CheckpointEvery != 0 || o.ResumeFrom != "":
+		return errors.New("wavepipe: Submit: checkpointing is managed by the service")
+	case o.OnAccept != nil:
+		return errors.New("wavepipe: Submit: OnAccept is managed by the service (use Stream)")
+	case o.Observer != nil:
+		return errors.New("wavepipe: Submit: Observer is managed by the service")
+	case o.Faults != nil:
+		return errors.New("wavepipe: Submit: fault injection is not accepted over the job API")
+	}
+	return nil
+}
+
+// run drives one job through acquire → simulate → (preempt/resume)* → end.
+func (s *Service) run(j *job, entry *artifact.Entry, opts TranOptions) {
+	defer s.wg.Done()
+	ckpt := filepath.Join(s.dir, j.id+".ckpt")
+	opts.CheckpointPath = ckpt
+	opts.OnAccept = func(t float64, row []float64) {
+		p := StreamPoint{T: t, Values: append([]float64(nil), row...)}
+		j.mu.Lock()
+		j.rows = append(j.rows, p)
+		j.broadcastLocked()
+		j.mu.Unlock()
+	}
+	var rec *trace.Recorder
+	observers := []trace.Observer{s.metrics}
+	if s.cfg.TraceJobs {
+		rec = trace.NewRecorder(0)
+		observers = append(observers, rec)
+	}
+	opts.Observer = trace.Multi(observers...)
+
+	// The core request: an explicit CoreBudget wins, else the requested
+	// worker count, else one core. The grant (≤ the request) becomes the
+	// run's CoreBudget, so the job's internal two-level scheduler subdivides
+	// exactly what the arbiter allotted.
+	want := opts.CoreBudget
+	if want <= 0 {
+		want = opts.Threads
+	}
+	if want <= 0 {
+		want = 1
+	}
+
+	for {
+		grant, err := s.arb.Acquire(j.ctx, j.spec.Priority, want)
+		if err != nil {
+			s.finish(j, nil, err)
+			return
+		}
+		j.mu.Lock()
+		j.state = JobRunning
+		j.cores = grant.Cores
+		j.broadcastLocked()
+		j.mu.Unlock()
+
+		runCtx, stopRun := context.WithCancel(j.ctx)
+		var preempted atomic.Bool
+		watchDone := make(chan struct{})
+		go func() {
+			defer close(watchDone)
+			select {
+			case <-grant.Preempted():
+				preempted.Store(true)
+				stopRun()
+			case <-runCtx.Done():
+			}
+		}()
+
+		o := opts
+		o.CoreBudget = grant.Cores
+		if _, statErr := os.Stat(ckpt); statErr == nil {
+			o.ResumeFrom = ckpt
+		}
+		res, err := RunTransientCtx(runCtx, entry.Sys, o)
+		stopRun()
+		<-watchDone
+		grant.Release()
+
+		if err != nil && errors.Is(err, ErrCanceled) && preempted.Load() && j.ctx.Err() == nil {
+			// Preempted, not canceled: the final checkpoint the guard
+			// flushed at the last accepted step is the resume point. Back to
+			// the queue; the stream keeps its rows (a resumed run does not
+			// re-emit restored points).
+			j.mu.Lock()
+			j.state = JobPreempted
+			j.cores = 0
+			j.resumes++
+			j.broadcastLocked()
+			j.mu.Unlock()
+			continue
+		}
+		s.finish(j, res, err)
+		if rec != nil {
+			s.writeTrace(j.id, rec)
+		}
+		return
+	}
+}
+
+// finish moves a job to its terminal state and wakes waiters and streams.
+func (s *Service) finish(j *job, res *Result, err error) {
+	j.mu.Lock()
+	j.res, j.err = res, err
+	j.cores = 0
+	switch {
+	case err == nil:
+		j.state = JobDone
+	case j.canceled && errors.Is(err, ErrCanceled):
+		j.state = JobCanceled
+	default:
+		j.state = JobFailed
+	}
+	j.broadcastLocked()
+	j.mu.Unlock()
+	close(j.done)
+	s.finished.Add(1)
+	os.Remove(filepath.Join(s.dir, j.id+".ckpt"))
+}
+
+// writeTrace flushes a finished job's telemetry to <dir>/<id>.trace.jsonl.
+func (s *Service) writeTrace(id string, rec *trace.Recorder) {
+	f, err := os.Create(filepath.Join(s.dir, id+".trace.jsonl"))
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	_ = trace.WriteJSONL(f, rec.Events(), rec.Snapshots())
+}
+
+// broadcastLocked wakes everything blocked on the job's next change.
+// Callers hold j.mu.
+func (j *job) broadcastLocked() {
+	close(j.update)
+	j.update = make(chan struct{})
+}
+
+func (s *Service) lookup(id string) (*job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+func (s *Service) status(j *job) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:       j.id,
+		Label:    j.spec.Label,
+		State:    j.state,
+		Priority: j.spec.Priority,
+		Cores:    j.cores,
+		Resumes:  j.resumes,
+		CacheHit: j.cacheHit,
+		Signals:  j.signals,
+		Points:   len(j.rows),
+	}
+	if j.err != nil {
+		st.Err = j.err.Error()
+	}
+	return st
+}
+
+// Status snapshots a job.
+func (s *Service) Status(_ context.Context, id string) (JobStatus, error) {
+	j, err := s.lookup(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return s.status(j), nil
+}
+
+// Wait blocks until the job is terminal and returns its Result. Failed and
+// canceled jobs return the partial Result (when the engine salvaged one)
+// alongside the typed error.
+func (s *Service) Wait(ctx context.Context, id string) (*Result, error) {
+	j, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.res, j.err
+}
+
+// Stream replays the job's accepted points from t=0 and then follows the
+// live run. The channel is closed when the job reaches a terminal state or
+// ctx is done; per-job errors are reported by Wait/Status, not the stream.
+func (s *Service) Stream(ctx context.Context, id string) (<-chan StreamPoint, error) {
+	j, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make(chan StreamPoint, 64)
+	go func() {
+		defer close(out)
+		next := 0
+		for {
+			j.mu.Lock()
+			rows := j.rows
+			update := j.update
+			terminal := j.state.Terminal()
+			j.mu.Unlock()
+			for ; next < len(rows); next++ {
+				select {
+				case out <- rows[next]:
+				case <-ctx.Done():
+					return
+				}
+			}
+			if terminal {
+				return
+			}
+			select {
+			case <-update:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out, nil
+}
+
+// Cancel stops a job. Terminal jobs are unaffected; unknown IDs error.
+func (s *Service) Cancel(_ context.Context, id string) error {
+	j, err := s.lookup(id)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	j.canceled = true
+	j.mu.Unlock()
+	j.cancel()
+	return nil
+}
+
+// Jobs lists the IDs the service has issued, oldest first.
+func (s *Service) Jobs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sortStrings(ids)
+	return ids
+}
+
+// sortStrings is a tiny insertion sort; job lists are small and this keeps
+// the facade free of a sort import for one call site.
+func sortStrings(a []string) {
+	for i := 1; i < len(a); i++ {
+		for k := i; k > 0 && a[k] < a[k-1]; k-- {
+			a[k], a[k-1] = a[k-1], a[k]
+		}
+	}
+}
+
+// CacheCounters reports the artifact cache's cumulative hits, misses and
+// System builds (builds == misses unless a build failed).
+func (s *Service) CacheCounters() (hits, misses, builds int64) {
+	return s.cache.Counters()
+}
+
+// SchedSnapshot reports the arbiter's live and cumulative scheduling state.
+// Rejections are counted at Submit, where the service enforces admission.
+func (s *Service) SchedSnapshot() (coresTotal, coresInUse, running, queued int, admitted, rejected, preemptions int64) {
+	return s.arb.Total(), s.arb.InUse(), s.arb.Running(), s.arb.Queued(),
+		s.arb.Admitted(), s.rejected.Load(), s.arb.Preemptions()
+}
+
+// WritePrometheus writes the service metrics in Prometheus text format: the
+// engine-level wavepipe_* rows plus the service-level wavesimd_* rows
+// (artifact cache, scheduler, job lifecycle).
+func (s *Service) WritePrometheus(w io.Writer) error {
+	if err := s.metrics.WritePrometheus(w); err != nil {
+		return err
+	}
+	hits, misses, builds := s.cache.Counters()
+	total, inUse, running, queued, admitted, rejected, preempts := s.SchedSnapshot()
+	rows := []struct {
+		name string
+		kind string
+		v    int64
+	}{
+		{"wavesimd_artifact_cache_hits_total", "counter", hits},
+		{"wavesimd_artifact_cache_misses_total", "counter", misses},
+		{"wavesimd_artifact_cache_builds_total", "counter", builds},
+		{"wavesimd_sched_admitted_total", "counter", admitted},
+		{"wavesimd_sched_rejected_total", "counter", rejected},
+		{"wavesimd_sched_preemptions_total", "counter", preempts},
+		{"wavesimd_jobs_submitted_total", "counter", s.submitted.Load()},
+		{"wavesimd_jobs_finished_total", "counter", s.finished.Load()},
+		{"wavesimd_cores_total", "gauge", int64(total)},
+		{"wavesimd_cores_in_use", "gauge", int64(inUse)},
+		{"wavesimd_jobs_running", "gauge", int64(running)},
+		{"wavesimd_jobs_queued", "gauge", int64(queued)},
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", r.name, r.kind, r.name, r.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close cancels every live job, waits for them to unwind, and releases the
+// service. Jobs canceled this way end in JobCanceled.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		j.canceled = true
+		j.mu.Unlock()
+		j.cancel()
+	}
+	s.wg.Wait()
+	s.arb.Close()
+	if s.ownDir {
+		os.RemoveAll(s.dir)
+	}
+	return nil
+}
+
+// compile-time check: the in-process service is a Client.
+var _ Client = (*Service)(nil)

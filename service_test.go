@@ -1,0 +1,381 @@
+package wavepipe
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// serviceDeck is a small RC deck for quick service jobs.
+const serviceDeck = `* rc lowpass
+V1 in 0 PULSE(0 1 0 1n 1n 10n 20n)
+R1 in out 1k
+C1 out 0 1n
+.tran 1n 40n
+.end
+`
+
+// longDeck forces thousands of accepted points (tiny max step), so a job
+// stays running long enough to be preempted mid-flight.
+const longDeck = `* long rc
+V1 in 0 PULSE(0 1 0 1n 1n 10n 20n)
+R1 in out 1k
+C1 out 0 1n
+.tran 0.1n 2000n 0 0.5n
+.end
+`
+
+// hugeDeck cannot finish within any test timeout (hundreds of millions of
+// forced points); jobs that must occupy a core until canceled use it.
+const hugeDeck = `* huge rc
+V1 in 0 PULSE(0 1 0 1n 1n 10n 20n)
+R1 in out 1k
+C1 out 0 1n
+.tran 0.1n 100000000n 0 0.5n
+.end
+`
+
+func newTestService(t *testing.T, cfg ServiceConfig) *Service {
+	t.Helper()
+	s, err := NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestServiceRoundTrip: submit → stream → wait, and a repeat submission of
+// the same deck hits the artifact cache.
+func TestServiceRoundTrip(t *testing.T) {
+	s := newTestService(t, ServiceConfig{Cores: 2})
+	st, err := s.Submit(context.Background(), JobSpec{Deck: serviceDeck, Label: "first"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheHit {
+		t.Fatal("first submission reported a cache hit")
+	}
+	if len(st.Signals) == 0 {
+		t.Fatal("no signal names at submit time")
+	}
+	ch, err := s.Stream(context.Background(), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := 0
+	var lastT float64 = -1
+	for p := range ch {
+		if p.T <= lastT {
+			t.Fatalf("stream out of order: %g after %g", p.T, lastT)
+		}
+		if len(p.Values) != len(st.Signals) {
+			t.Fatalf("row width %d, want %d", len(p.Values), len(st.Signals))
+		}
+		lastT = p.T
+		streamed++
+	}
+	res, err := s.Wait(context.Background(), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.W.Len() != streamed {
+		t.Fatalf("streamed %d rows, result has %d", streamed, res.W.Len())
+	}
+	st2, err := s.Submit(context.Background(), JobSpec{Deck: serviceDeck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.CacheHit {
+		t.Fatal("repeat deck missed the artifact cache")
+	}
+	if _, err := s.Wait(context.Background(), st2.ID); err != nil {
+		t.Fatal(err)
+	}
+	fin, err := s.Status(context.Background(), st2.ID)
+	if err != nil || fin.State != JobDone {
+		t.Fatalf("state=%v err=%v, want done", fin.State, err)
+	}
+}
+
+// TestServiceGlobalBudgetNeverExceeded: many concurrent jobs, each asking
+// for more cores than exist, never oversubscribe the global budget.
+func TestServiceGlobalBudgetNeverExceeded(t *testing.T) {
+	const cores, jobs = 2, 8
+	s := newTestService(t, ServiceConfig{Cores: cores, MaxQueued: jobs})
+	stop := make(chan struct{})
+	var peak int
+	var pmu sync.Mutex
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, inUse, _, _, _, _, _ := s.SchedSnapshot()
+			pmu.Lock()
+			if inUse > peak {
+				peak = inUse
+			}
+			pmu.Unlock()
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	ids := make([]string, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		// Distinct decks so compile misses don't serialize on the cache hit
+		// path; each asks for 4 cores on a 2-core budget.
+		deck := fmt.Sprintf("* j%d\nV1 in 0 PULSE(0 1 0 1n 1n 10n 20n)\nR1 in out %dk\nC1 out 0 1n\n.tran 1n 40n\n.end\n", i, i+1)
+		st, err := s.Submit(context.Background(), JobSpec{
+			Deck:     deck,
+			Options:  TranOptions{CoreBudget: 4},
+			Priority: i % 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	for _, id := range ids {
+		if _, err := s.Wait(context.Background(), id); err != nil {
+			t.Fatalf("job %s: %v", id, err)
+		}
+	}
+	close(stop)
+	pmu.Lock()
+	defer pmu.Unlock()
+	if peak > cores {
+		t.Fatalf("peak cores in use %d exceeds global budget %d", peak, cores)
+	}
+	if total, inUse, running, queued, _, _, _ := s.SchedSnapshot(); inUse != 0 || running != 0 || queued != 0 {
+		t.Fatalf("leaked scheduling state: total=%d inUse=%d running=%d queued=%d", total, inUse, running, queued)
+	}
+}
+
+// TestServicePreemptionResumesBitIdentical: a higher-priority job preempts
+// a running low-priority one at an accepted-step boundary; the low job
+// checkpoints, resumes, and its final waveform is bit-identical to an
+// uninterrupted run of the same deck.
+func TestServicePreemptionResumesBitIdentical(t *testing.T) {
+	s := newTestService(t, ServiceConfig{Cores: 1})
+	low, err := s.Submit(context.Background(), JobSpec{Deck: longDeck, Priority: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the low job is demonstrably mid-run (some points accepted,
+	// thousands still to go), then submit the high-priority job.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, serr := s.Status(context.Background(), low.ID)
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		if st.State.Terminal() {
+			t.Fatalf("low job finished before preemption could be arranged (state %v)", st.State)
+		}
+		if st.Points >= 50 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("low job never started accepting points")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	high, err := s.Submit(context.Background(), JobSpec{Deck: serviceDeck, Priority: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Wait(context.Background(), high.ID); err != nil {
+		t.Fatalf("high-priority job: %v", err)
+	}
+	res, err := s.Wait(context.Background(), low.ID)
+	if err != nil {
+		t.Fatalf("low-priority job after resume: %v", err)
+	}
+	lowSt, err := s.Status(context.Background(), low.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lowSt.Resumes < 1 {
+		t.Fatalf("low job resumes = %d, want >= 1 (was it ever preempted?)", lowSt.Resumes)
+	}
+	if _, _, _, _, _, _, preempts := s.SchedSnapshot(); preempts < 1 {
+		t.Fatalf("arbiter preemptions = %d, want >= 1", preempts)
+	}
+	if lowSt.Points != res.W.Len() {
+		t.Fatalf("stream saw %d points, result has %d (duplicate or lost rows across resume)", lowSt.Points, res.W.Len())
+	}
+
+	// Uninterrupted reference at the same core budget.
+	d, err := ParseDeck(longDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := RunDeck(d, TranOptions{CoreBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.W.Len() != ref.W.Len() {
+		t.Fatalf("preempted run has %d points, uninterrupted %d", res.W.Len(), ref.W.Len())
+	}
+	for k := range ref.W.Times {
+		if res.W.Times[k] != ref.W.Times[k] {
+			t.Fatalf("time %d differs: %g vs %g", k, res.W.Times[k], ref.W.Times[k])
+		}
+		for j := range ref.W.Names {
+			if res.W.Data[k][j] != ref.W.Data[k][j] {
+				t.Fatalf("sample %d signal %s differs: %g vs %g",
+					k, ref.W.Names[j], res.W.Data[k][j], ref.W.Data[k][j])
+			}
+		}
+	}
+}
+
+// TestServiceCancelMidStreamNoGoroutineLeak: canceling a job mid-stream
+// closes the stream, ends the job as canceled, and leaks nothing.
+func TestServiceCancelMidStreamNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s, err := NewService(ServiceConfig{Cores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Submit(context.Background(), JobSpec{Deck: longDeck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := s.Stream(context.Background(), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for p := range ch {
+		_ = p
+		seen++
+		if seen == 20 {
+			if err := s.Cancel(context.Background(), st.ID); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if seen < 20 {
+		t.Fatalf("stream closed after %d rows, before the cancel point", seen)
+	}
+	if _, err := s.Wait(context.Background(), st.ID); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	fin, err := s.Status(context.Background(), st.ID)
+	if err != nil || fin.State != JobCanceled {
+		t.Fatalf("state=%v err=%v, want canceled", fin.State, err)
+	}
+	// Cancel is idempotent on terminal jobs.
+	if err := s.Cancel(context.Background(), st.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitGoroutineBaseline(t, before)
+}
+
+// TestServiceCacheCountersReconcile: hit/miss/build counters agree with
+// the submissions performed — every distinct deck builds once, every
+// repeat is answered from the cache.
+func TestServiceCacheCountersReconcile(t *testing.T) {
+	s := newTestService(t, ServiceConfig{Cores: 2})
+	const distinct, repeats = 3, 4
+	var ids []string
+	for r := 0; r < repeats; r++ {
+		for d := 0; d < distinct; d++ {
+			deck := fmt.Sprintf("* d%d\nV1 in 0 PULSE(0 1 0 1n 1n 10n 20n)\nR1 in out %dk\nC1 out 0 1n\n.tran 1n 40n\n.end\n", d, d+1)
+			st, err := s.Submit(context.Background(), JobSpec{Deck: deck})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := st.CacheHit, r > 0; got != want {
+				t.Fatalf("round %d deck %d: cacheHit=%v, want %v", r, d, got, want)
+			}
+			ids = append(ids, st.ID)
+		}
+	}
+	for _, id := range ids {
+		if _, err := s.Wait(context.Background(), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses, builds := s.CacheCounters()
+	if hits+misses != distinct*repeats {
+		t.Fatalf("hits %d + misses %d != submissions %d", hits, misses, distinct*repeats)
+	}
+	if builds != distinct || misses != distinct {
+		t.Fatalf("builds=%d misses=%d, want %d each (one System build per distinct deck)", builds, misses, distinct)
+	}
+}
+
+// TestServiceAdmissionControl: the queue bound turns into ErrQueueFull at
+// Submit, not an unbounded backlog.
+func TestServiceAdmissionControl(t *testing.T) {
+	s := newTestService(t, ServiceConfig{Cores: 1, MaxQueued: 1})
+	first, err := s.Submit(context.Background(), JobSpec{Deck: hugeDeck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the first job to hold the core so followers queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, running, _, _, _, _ := s.SchedSnapshot(); running == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	second, err := s.Submit(context.Background(), JobSpec{Deck: serviceDeck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The queue (bound 1) now holds the second job; the third must bounce.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if _, _, _, queued, _, _, _ := s.SchedSnapshot(); queued == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("second job never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := s.Submit(context.Background(), JobSpec{Deck: serviceDeck}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if err := s.Cancel(context.Background(), first.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Wait(context.Background(), second.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServiceRejectsManagedFields: durability and observer options belong
+// to the service, not the submission.
+func TestServiceRejectsManagedFields(t *testing.T) {
+	s := newTestService(t, ServiceConfig{Cores: 1})
+	bad := []TranOptions{
+		{CheckpointPath: "x"},
+		{CheckpointEvery: 8},
+		{ResumeFrom: "x"},
+		{OnAccept: func(float64, []float64) {}},
+		{Observer: NewTraceMetrics()},
+		{Faults: NewFaultInjector()},
+	}
+	for i, o := range bad {
+		if _, err := s.Submit(context.Background(), JobSpec{Deck: serviceDeck, Options: o}); err == nil {
+			t.Fatalf("case %d: managed field accepted", i)
+		}
+	}
+}

@@ -186,6 +186,66 @@ func (s Scheme) String() string {
 	}
 }
 
+// ParseScheme maps a scheme name (as produced by Scheme.String) back to the
+// value. It is the inverse the CLIs and the wire schema share.
+func ParseScheme(s string) (Scheme, error) {
+	switch s {
+	case "serial", "":
+		return Serial, nil
+	case "backward":
+		return Backward, nil
+	case "forward":
+		return Forward, nil
+	case "combined":
+		return Combined, nil
+	case "finegrain":
+		return FineGrained, nil
+	default:
+		return 0, fmt.Errorf("wavepipe: unknown scheme %q (serial, backward, forward, combined, finegrain)", s)
+	}
+}
+
+// ParseMethod maps an integration-method name (as produced by Method.String)
+// back to the value.
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "gear2", "":
+		return Gear2, nil
+	case "trap":
+		return Trapezoidal, nil
+	case "be":
+		return BackwardEuler, nil
+	default:
+		return 0, fmt.Errorf("wavepipe: unknown method %q (be, trap, gear2)", s)
+	}
+}
+
+// LoadModeName returns the assembly-strategy name ParseLoadMode inverts.
+func LoadModeName(m LoadMode) string {
+	switch m {
+	case LoadSharded:
+		return "sharded"
+	case LoadColored:
+		return "colored"
+	default:
+		return "auto"
+	}
+}
+
+// ParseLoadMode maps an assembly-strategy name back to the value.
+func ParseLoadMode(s string) (LoadMode, error) {
+	switch s {
+	case "auto", "":
+		return LoadAuto, nil
+	case "sharded":
+		return LoadSharded, nil
+	case "colored":
+		return LoadColored, nil
+	default:
+		return 0, fmt.Errorf("wavepipe: unknown load mode %q (auto, sharded, colored)", s)
+	}
+}
+
 // NewCircuit returns an empty circuit with the given title.
 func NewCircuit(title string) *Circuit { return circuit.New(title) }
 
@@ -207,22 +267,24 @@ func (d *Deck) FindSource(name string) (*device.VSource, bool) {
 	return d.nl().FindSource(name)
 }
 
-// ApplyTo merges the deck's analysis cards into opts, following the CLI's
-// precedence rules — explicitly set TranOptions fields always win over deck
-// cards:
+// ApplyTo merges the deck's analysis cards into opts, following the
+// precedence rules documented in DESIGN.md — explicitly set TranOptions
+// fields always win over deck cards:
 //
-//   - TStop: kept if positive, else taken from .TRAN (error if neither).
+//   - TStop: kept if positive, else taken from .TRAN.
 //   - UIC: true if set in either place.
 //   - MaxStep: kept if positive, else .TRAN's TMax when present.
 //   - RelTol/AbsTol: kept if positive, else .OPTIONS reltol/abstol.
 //   - IC/NodeSet: kept if non-nil, else the deck's .IC/.NODESET maps.
 //
-// The receiver is not modified; the merged options are returned.
+// ApplyTo only merges; it never validates. The merged options flow into the
+// single validation path (TranOptions.validate, run by every entry point),
+// which rejects a run that ended up without a positive TStop — so a deck
+// with no .TRAN and no explicit TStop fails there, not here. The receiver
+// is not modified; the merged options are returned. The error result is
+// always nil and retained only for call-site compatibility.
 func (d *Deck) ApplyTo(opts TranOptions) (TranOptions, error) {
-	if opts.TStop <= 0 {
-		if d.Tran == nil {
-			return opts, fmt.Errorf("wavepipe: deck has no .TRAN and no TStop given")
-		}
+	if opts.TStop <= 0 && d.Tran != nil {
 		opts.TStop = d.Tran.TStop
 	}
 	if d.Tran != nil {
@@ -414,12 +476,38 @@ type TranOptions struct {
 	// (never sooner than one second). Values below 2 are clamped to 2.
 	// 0 (the default) disables the watchdog.
 	StallFactor float64
+	// OnAccept, when non-nil, observes every accepted time point right after
+	// it is committed: t is the point's time and row the recorded values in
+	// Result.W column order. The row aliases the result's storage — copy it
+	// to retain it past the callback. Called in time order from the engine's
+	// commit goroutine; never after the run returns. A resumed run does not
+	// re-emit points restored from the checkpoint. This is the hook the
+	// service's streaming endpoint is built on.
+	OnAccept func(t float64, row []float64)
 }
 
 // validate rejects option values that would otherwise flow silently into
 // the engines and corrupt a run (the engines clamp what they can, but
-// nonsense deserves a loud answer at the API boundary).
+// nonsense deserves a loud answer at the API boundary). It is the single
+// validation path behind every entry point — RunTransientCtx, the ensemble
+// runner, and the service — and runs after Deck.ApplyTo's merge, so it sees
+// the effective options whichever side supplied them.
 func (o TranOptions) validate() error {
+	if o.TStop <= 0 || math.IsNaN(o.TStop) {
+		return fmt.Errorf("wavepipe: TStop must be positive (set TranOptions.TStop or simulate a deck with a .TRAN card)")
+	}
+	if math.IsNaN(o.RelTol) || o.RelTol < 0 {
+		return fmt.Errorf("wavepipe: RelTol must not be negative or NaN (got %g)", o.RelTol)
+	}
+	if math.IsNaN(o.AbsTol) || o.AbsTol < 0 {
+		return fmt.Errorf("wavepipe: AbsTol must not be negative or NaN (got %g)", o.AbsTol)
+	}
+	if math.IsNaN(o.MaxStep) || o.MaxStep < 0 {
+		return fmt.Errorf("wavepipe: MaxStep must not be negative or NaN (got %g)", o.MaxStep)
+	}
+	if math.IsNaN(o.InitStep) || o.InitStep < 0 {
+		return fmt.Errorf("wavepipe: InitStep must not be negative or NaN (got %g)", o.InitStep)
+	}
 	if o.Threads < 0 {
 		return fmt.Errorf("wavepipe: Threads must not be negative (got %d)", o.Threads)
 	}
@@ -469,6 +557,11 @@ func Compare(a, ref *Set, signal string) (Deviation, error) {
 
 // RunTransient simulates sys with the selected engine. It is shorthand for
 // RunTransientCtx with a background context.
+//
+// Deprecated: new code should call RunTransientCtx (context-first core) or,
+// when jobs need queueing, streaming or cancellation by ID, the Client
+// interface (NewService in-process, client.New over HTTP). This wrapper is
+// kept so existing callers keep compiling.
 func RunTransient(sys *System, opts TranOptions) (*Result, error) {
 	return RunTransientCtx(context.Background(), sys, opts)
 }
@@ -575,6 +668,11 @@ func runEngine(sys *System, opts TranOptions, base transient.Options) (res *Resu
 // RunDeck builds and simulates a parsed deck, honouring its .TRAN, .IC and
 // .OPTIONS cards (explicit TranOptions fields win over deck options; see
 // Deck.ApplyTo for the precedence rules).
+//
+// Deprecated: new code should call RunDeckCtx, or Submit the deck source to
+// a Client (NewService in-process, client.New over HTTP) to get queueing,
+// artifact caching and streaming. This wrapper is kept so existing callers
+// keep compiling.
 func RunDeck(d *Deck, opts TranOptions) (*Result, error) {
 	return RunDeckCtx(context.Background(), d, opts)
 }
@@ -593,11 +691,9 @@ func RunDeckCtx(ctx context.Context, d *Deck, opts TranOptions) (*Result, error)
 }
 
 // baseOptions translates facade options into engine options, resolving node
-// names to solution-vector indices.
+// names to solution-vector indices. Pure translation: the options were
+// already vetted by the single validate() path.
 func baseOptions(sys *System, opts TranOptions) (transient.Options, error) {
-	if opts.TStop <= 0 {
-		return transient.Options{}, fmt.Errorf("wavepipe: TStop must be positive")
-	}
 	base := transient.Options{
 		TStop:      opts.TStop,
 		Method:     opts.Method,
@@ -607,6 +703,7 @@ func baseOptions(sys *System, opts TranOptions) (transient.Options, error) {
 		LoadMode:   opts.LoadMode,
 		BypassTol:  opts.BypassTol,
 		CoreBudget: opts.CoreBudget,
+		OnAccept:   opts.OnAccept,
 	}
 	if opts.DeviceBypass {
 		base.DeviceBypassTol = transient.DefaultDeviceBypassTol

@@ -16,6 +16,7 @@ import (
 	"wavepipe/internal/circuit"
 	"wavepipe/internal/circuits"
 	"wavepipe/internal/device"
+	wpcore "wavepipe/internal/wavepipe"
 )
 
 // benchMetrics is one benchmark's machine-readable record.
@@ -184,25 +185,9 @@ func figCoreScale(benchName string, maxCores int, jsonOut bool) error {
 		if budget == 1 {
 			opts.Scheme = wavepipe.Serial
 		} else {
+			// Split policy: see wpcore.PlanThreads.
 			opts.Scheme = wavepipe.Combined
-			// Split policy: below 8 cores the pipeline gets everything
-			// (gangs of 2-3 rarely clear the level-schedule profitability
-			// gate, so they would idle); from 8 cores on, trade pipeline
-			// width for gang width — the mesh circuits' LU schedules only
-			// go parallel at gang width >= 4, and a 2-wide pipeline with
-			// 4-wide gangs beats a 4-wide pipeline with 2-wide gangs
-			// (grid32: 1046 ms vs 1597 ms critical path).
-			th := budget
-			if budget >= 8 {
-				th = budget / 4
-			}
-			if th > 4 {
-				th = 4
-			}
-			if th < 2 {
-				th = 2
-			}
-			opts.Threads = th
+			opts.Threads = wpcore.PlanThreads(budget)
 		}
 		wall, res, err := timed(sys, opts)
 		if err != nil {
@@ -502,6 +487,137 @@ func figLaneScale(jsonOut bool) error {
 			r.Circuit, r.Lanes, r.Workers, r.Rounds, r.Points,
 			float64(r.WallNs)/1e6, float64(r.CriticalNs)/1e6,
 			float64(r.SerialNs)/1e6, r.Speedup)
+	}
+	return nil
+}
+
+// windowScaleRecord is one point of the time-parallel window sweep.
+type windowScaleRecord struct {
+	Circuit         string  `json:"circuit"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	Mode            string  `json:"mode"` // serial | wavepipe | windows | windows-fast
+	CoreBudget      int     `json:"core_budget"`
+	Windows         int     `json:"windows"`
+	Gate            float64 `json:"gate,omitempty"`
+	Threads         int     `json:"threads"`
+	WindowsLaunched int64   `json:"windows_launched"`
+	PararealIters   int64   `json:"parareal_iters"`
+	WindowRedos     int64   `json:"window_redos"`
+	WallNs          int64   `json:"wall_ns"`
+	CriticalNs      int64   `json:"critical_ns"`
+	Speedup         float64 `json:"speedup"`
+	RelMaxDev       float64 `json:"rel_max_dev"`
+}
+
+// figWindowScale sweeps time-parallel window count against core budget:
+// for every budget (powers of two up to maxCores) it records the serial
+// baseline, the best WavePipe-only configuration at that budget
+// (combined scheme, wpcore.PlanThreads width), and windowed runs at
+// W = 2/4/8 with serial fine engines — once at the accuracy-first
+// default gate and once at the speed tier (gate 32, "windows-fast"),
+// which accepts coarse seeds within 32 fine error weights and trades a
+// small bounded seam deviation for fewer redos. Speedups use the critical-path
+// timing model (windowed runs model the coarse lane + window schedule),
+// and every record carries the probe's relative deviation from the serial
+// waveform so accuracy rides along with the numbers.
+func figWindowScale(benchName string, maxCores int, jsonOut bool) error {
+	if maxCores <= 0 {
+		maxCores = runtime.NumCPU()
+	}
+	names := []string{"ladder400", "grid16", "rect1k", "amp10M"}
+	if benchName != "" && benchName != "all" {
+		names = []string{benchName}
+	}
+	var budgets []int
+	for b := 1; b <= maxCores; b *= 2 {
+		budgets = append(budgets, b)
+	}
+	if budgets[len(budgets)-1] != maxCores {
+		budgets = append(budgets, maxCores)
+	}
+	var records []windowScaleRecord
+	for _, name := range names {
+		b, ok := findBench(name)
+		if !ok {
+			return fmt.Errorf("no benchmark circuit %q", name)
+		}
+		sys, err := build(b)
+		if err != nil {
+			return err
+		}
+		base := wavepipe.TranOptions{TStop: window(b), Record: []string{b.Probe}}
+		wall, ref, err := timed(sys, base)
+		if err != nil {
+			return err
+		}
+		serialCrit := ref.Stats.CriticalNanos
+		add := func(mode string, W int, opts wavepipe.TranOptions) error {
+			wall, res, err := timed(sys, opts)
+			if err != nil {
+				return err
+			}
+			dev, err := wavepipe.Compare(res.W, ref.W, b.Probe)
+			if err != nil {
+				return err
+			}
+			records = append(records, windowScaleRecord{
+				Circuit:         b.Name,
+				GOMAXPROCS:      runtime.GOMAXPROCS(0),
+				Mode:            mode,
+				CoreBudget:      opts.CoreBudget,
+				Windows:         W,
+				Threads:         opts.Threads,
+				Gate:            opts.CoarseOpts.Gate,
+				WindowsLaunched: res.Stats.WindowsLaunched,
+				PararealIters:   res.Stats.PararealIters,
+				WindowRedos:     res.Stats.WindowRedos,
+				WallNs:          wall.Nanoseconds(),
+				CriticalNs:      res.Stats.CriticalNanos,
+				Speedup:         float64(serialCrit) / float64(res.Stats.CriticalNanos),
+				RelMaxDev:       dev.RelMax(),
+			})
+			return nil
+		}
+		records = append(records, windowScaleRecord{
+			Circuit: b.Name, GOMAXPROCS: runtime.GOMAXPROCS(0), Mode: "serial",
+			CoreBudget: 1, WallNs: wall.Nanoseconds(), CriticalNs: serialCrit, Speedup: 1,
+		})
+		for _, budget := range budgets {
+			if budget < 2 {
+				continue
+			}
+			wp := base
+			wp.Scheme = wavepipe.Combined
+			wp.Threads = wpcore.PlanThreads(budget)
+			wp.CoreBudget = budget
+			if err := add("wavepipe", 0, wp); err != nil {
+				return err
+			}
+			for _, W := range []int{2, 4, 8} {
+				wo := base
+				wo.Windows = W
+				wo.CoreBudget = budget
+				if err := add("windows", W, wo); err != nil {
+					return err
+				}
+				wo.CoarseOpts.Gate = 32
+				if err := add("windows-fast", W, wo); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(records)
+	}
+	fmt.Printf("Figure F10: time-parallel windows vs best WavePipe-only (GOMAXPROCS=%d)\n", runtime.GOMAXPROCS(0))
+	fmt.Println("circuit,budget,mode,windows,threads,redos,wall_ms,crit_ms,speedup,rel_max_dev")
+	for _, r := range records {
+		fmt.Printf("%s,%d,%s,%d,%d,%d,%.2f,%.2f,%.2f,%.2e\n",
+			r.Circuit, r.CoreBudget, r.Mode, r.Windows, r.Threads, r.WindowRedos,
+			float64(r.WallNs)/1e6, float64(r.CriticalNs)/1e6, r.Speedup, r.RelMaxDev)
 	}
 	return nil
 }

@@ -42,9 +42,21 @@ var (
 	benchObserver wavepipe.Observer
 )
 
+// isFlagSet reports whether the named flag was given on the command line
+// (as opposed to sitting at its default value).
+func isFlagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
 func main() {
 	table := flag.Int("table", 0, "regenerate table N (1-4)")
-	fig := flag.String("fig", "", "regenerate figure: stepsize, accuracy, scaling, work, fwp, ablation, loadscale, corescale, bypassscale, lanescale")
+	fig := flag.String("fig", "", "regenerate figure: stepsize, accuracy, scaling, work, fwp, ablation, loadscale, corescale, bypassscale, lanescale, windowscale")
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON metrics (see -bench, -bypasstol)")
 	benchName := flag.String("bench", "grid16", "circuit for -json, -fig corescale and -fig bypassscale (a suite name, or all)")
@@ -101,6 +113,17 @@ func main() {
 	// with -json they emit the sweep as JSON records instead of CSV text.
 	if *fig == "corescale" {
 		if err := figCoreScale(*benchName, *maxCores, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "wavebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fig == "windowscale" {
+		name := *benchName
+		if !isFlagSet("bench") {
+			name = "" // default to the ladder400+grid16 pair, not grid16
+		}
+		if err := figWindowScale(name, *maxCores, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "wavebench:", err)
 			os.Exit(1)
 		}

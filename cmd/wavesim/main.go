@@ -102,32 +102,37 @@ func exitCodeFor(err error) int {
 
 // runConfig carries the parsed command line into run.
 type runConfig struct {
-	deckPath    string
-	analysis    string
-	scheme      string
-	method      string
-	tstop       string
-	probes      string
-	outPath     string
-	interval    string
-	loadMode    string
-	tracePath   string
-	metricsAddr string
-	ckptPath    string
-	resumePath  string
-	deadline    string
-	ckptEvery   int
-	stallFactor float64
-	threads     int
-	cores       int
-	lanes       int
-	sweep       string
-	bypassTol   float64
-	devBypass   bool
-	stats       bool
-	jsonOut     bool
-	remote      string
-	priority    int
+	deckPath     string
+	analysis     string
+	scheme       string
+	method       string
+	tstop        string
+	probes       string
+	outPath      string
+	interval     string
+	loadMode     string
+	tracePath    string
+	metricsAddr  string
+	ckptPath     string
+	resumePath   string
+	deadline     string
+	ckptEvery    int
+	stallFactor  float64
+	threads      int
+	cores        int
+	lanes        int
+	sweep        string
+	windows      int
+	coarseSteps  int
+	coarseTol    float64
+	windowGate   float64
+	windowStrict bool
+	bypassTol    float64
+	devBypass    bool
+	stats        bool
+	jsonOut      bool
+	remote       string
+	priority     int
 }
 
 func main() {
@@ -157,6 +162,11 @@ func main() {
 	flag.IntVar(&cfg.priority, "priority", 0, "job priority for -remote (higher runs first)")
 	flag.IntVar(&cfg.lanes, "lanes", 0, "run N parameter-variant lanes as one batched ensemble (0 = off; requires -analysis tran)")
 	flag.StringVar(&cfg.sweep, "sweep", "", "sweep spec NAME=lo:hi for -lanes: NAME is a .PARAM name or a device instance (R/C/L/V/I), lanes get linearly spaced values")
+	flag.IntVar(&cfg.windows, "windows", 0, "split the run into N time-parallel Parareal windows refined concurrently by the selected engine (0 = off; requires -analysis tran)")
+	flag.IntVar(&cfg.coarseSteps, "coarse-steps", 0, "fixed coarse-propagator steps per window (0 = default 16; requires -windows)")
+	flag.Float64Var(&cfg.coarseTol, "coarse-tolscale", 0, "coarse-propagator Newton-tolerance loosening factor (0 = default 8; requires -windows)")
+	flag.Float64Var(&cfg.windowGate, "window-gate", 0, "per-window convergence gate in fine error weights (0 = default 2; requires -windows)")
+	flag.BoolVar(&cfg.windowStrict, "window-strict", false, "never accept a speculative window: bit-identical to the sequential window chain (requires -windows)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: wavesim [flags] deck.sp")
@@ -323,6 +333,16 @@ func run(ctx context.Context, cfg runConfig) error {
 	opts.CheckpointEvery = cfg.ckptEvery
 	opts.ResumeFrom = cfg.resumePath
 	opts.StallFactor = cfg.stallFactor
+	opts.Windows = cfg.windows
+	opts.CoarseOpts = wavepipe.CoarseOptions{
+		Steps:    cfg.coarseSteps,
+		TolScale: cfg.coarseTol,
+		Gate:     cfg.windowGate,
+		Strict:   cfg.windowStrict,
+	}
+	if cfg.windows > 1 && (cfg.lanes != 0 || cfg.sweep != "") {
+		return fmt.Errorf("-windows cannot be combined with -lanes/-sweep: windows parallelize one run over time, lanes batch many runs")
+	}
 	if cfg.deadline != "" {
 		d, err := time.ParseDuration(cfg.deadline)
 		if err != nil {
@@ -420,6 +440,11 @@ func run(ctx context.Context, cfg runConfig) error {
 				"wavesim: core budget %d split as %d pipeline x %d intra (pipeline serialized: %v)\n",
 				res.Stats.CoreBudget, res.Stats.PipelineWorkers, res.Stats.IntraWorkers,
 				res.Stats.PipelineSerialized)
+		}
+		if res.Stats.WindowsLaunched > 0 {
+			fmt.Fprintf(os.Stderr,
+				"wavesim: time-parallel windows=%d parareal-iters=%d redos=%d\n",
+				res.Stats.WindowsLaunched, res.Stats.PararealIters, res.Stats.WindowRedos)
 		}
 		for _, e := range res.Recovery.Events() {
 			fmt.Fprintf(os.Stderr, "wavesim:   recovery at t=%g: %s %s\n", e.T, e.Kind, e.Detail)

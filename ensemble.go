@@ -140,6 +140,8 @@ func runEnsemble(ctx context.Context, sys *System, lanes []ensemble.Lane, opts T
 		return nil, fmt.Errorf("wavepipe: deadline/stall watchdogs are not supported for ensemble runs")
 	case opts.Faults != nil:
 		return nil, fmt.Errorf("wavepipe: run-wide fault injection is not supported for ensemble runs (faults are per-lane)")
+	case opts.Windows > 1:
+		return nil, fmt.Errorf("wavepipe: time-parallel windows are not supported inside ensemble lanes (run lanes or windows, not both)")
 	}
 	base, err := baseOptions(sys, opts)
 	if err != nil {

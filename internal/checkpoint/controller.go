@@ -96,6 +96,15 @@ func NewController(cfg Config) *Controller {
 	return &Controller{cfg: cfg}
 }
 
+// NewRetained returns a controller with no path, deadline or watchdog: it
+// persists nothing and only retains the latest snapshot in memory. The
+// time-parallel window coordinator attaches one to each inner engine run
+// to collect its final state — the same state the engines already hand to
+// SaveFinal on every exit path — and uses it as the next window's seed.
+func NewRetained() *Controller {
+	return NewController(Config{})
+}
+
 // SetTracer attaches the run's event stream; each Save emits one
 // KindCheckpoint event. Must be called before Start.
 func (c *Controller) SetTracer(tr *trace.Tracer) {

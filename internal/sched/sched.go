@@ -44,7 +44,7 @@ var ForceGang atomic.Bool
 // it reports false: when the gang cannot actually run concurrently, Run
 // degrades to calling fn sequentially, which would deadlock a barrier.
 type Pool struct {
-	n     int             // gang width including the caller
+	n     int              // gang width including the caller
 	tasks []chan func(int) // one per hired worker (n-1)
 	wg    sync.WaitGroup
 
@@ -251,4 +251,31 @@ func (b *Budget) NewPool(gang int) *Pool {
 	p.budget = b
 	p.granted = g
 	return p
+}
+
+// SplitBudget divides a global core budget among identical gangs of width
+// gang, capped at maxUnits concurrent gangs. It returns how many gangs may
+// run at once and the per-gang core budget, chosen so that
+// units × perUnit ≤ total — the invariant the time-parallel window
+// coordinator relies on so windows × pipeline × intra-point parallelism
+// never oversubscribes the machine. A non-positive total means the budget
+// is unmanaged: every unit may run with an unmanaged (zero) inner budget.
+func SplitBudget(total, gang, maxUnits int) (units, perUnit int) {
+	if maxUnits < 1 {
+		maxUnits = 1
+	}
+	if gang < 1 {
+		gang = 1
+	}
+	if total <= 0 {
+		return maxUnits, 0
+	}
+	units = total / gang
+	if units < 1 {
+		units = 1
+	}
+	if units > maxUnits {
+		units = maxUnits
+	}
+	return units, total / units
 }

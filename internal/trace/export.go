@@ -279,6 +279,9 @@ type ReplayCounts struct {
 	BypassedEvals   int // device evals replayed, summed over device-load phases
 	LinearStampHits int // device-load phases flagged as linear-template hits
 	Cancels         int // KindCancel events
+	WindowSeeds     int // KindWindowSeed events (Parareal windows launched)
+	WindowConverges int // KindWindowConverge events (windows past their gate)
+	WindowRedos     int // KindWindowRedo events (windows redone from exact state)
 }
 
 // Replay recomputes the run counters from a recorded stream. On a complete
@@ -306,6 +309,12 @@ func Replay(events []Event) ReplayCounts {
 			c.SerialFallbacks++
 		case KindCancel:
 			c.Cancels++
+		case KindWindowSeed:
+			c.WindowSeeds++
+		case KindWindowConverge:
+			c.WindowConverges++
+		case KindWindowRedo:
+			c.WindowRedos++
 		case KindPhase:
 			if ev.Phase == PhaseFactor && ev.Flags&FlagBypassed != 0 {
 				c.BypassHits++

@@ -44,13 +44,16 @@ const (
 	KindCancel              // the run observed context cancellation
 	KindCheckpoint          // a durable checkpoint was written (Dur = encode+write time)
 	KindLaneRetire          // an ensemble lane detached from the gang (Detail = reason)
+	KindWindowSeed          // a Parareal window was launched from a coarse seed (Stage = window)
+	KindWindowConverge      // a Parareal window passed its convergence gate (Stage = window)
+	KindWindowRedo          // a Parareal window was redone from its exact predecessor state
 	kindCount
 )
 
 var kindNames = [kindCount]string{
 	"", "predict", "solve", "accept", "lte-reject", "discard",
 	"recovery", "serial-fallback", "phase", "worker", "cancel", "checkpoint",
-	"lane-retire",
+	"lane-retire", "window-seed", "window-converge", "window-redo",
 }
 
 // String returns the stable wire name of the kind.

@@ -212,6 +212,16 @@ type Stats struct {
 	PipelineWorkers    int
 	IntraWorkers       int
 	PipelineSerialized bool
+	// Time-parallel (Parareal) window accounting, filled only by the
+	// internal/windows coordinator: windows launched, fine-propagator
+	// invocations (speculative solves plus redos), and windows that failed
+	// their convergence gate and were redone from the exact predecessor
+	// state. Points/Solves above count every inner run, including
+	// speculative window solves later discarded, so trace replay still
+	// reconciles 1:1; the stitched waveform is shorter than Points.
+	WindowsLaunched int64
+	PararealIters   int64
+	WindowRedos     int64
 }
 
 // Add accumulates other into s (used to merge per-worker stats).
@@ -245,6 +255,9 @@ func (s *Stats) Add(other Stats) {
 		s.IntraWorkers = other.IntraWorkers
 	}
 	s.PipelineSerialized = s.PipelineSerialized || other.PipelineSerialized
+	s.WindowsLaunched += other.WindowsLaunched
+	s.PararealIters += other.PararealIters
+	s.WindowRedos += other.WindowRedos
 }
 
 // Result is the outcome of a transient analysis. On failure the engines
@@ -696,6 +709,32 @@ func collectBreakpoints(devs []circuit.Device, tstop float64) []float64 {
 	return out
 }
 
+// HorizonIsEdge reports whether a device waveform breakpoint coincides with
+// tstop itself. A run ending on a plain horizon keeps its integrator
+// history at full order in the final checkpoint, so a continuation resumed
+// from it (durable restore, time-parallel window chains) picks up
+// seamlessly; a run ending exactly on a waveform edge must capture a
+// restart state instead, because post-edge dynamics bear no relation to the
+// pre-edge derivative history.
+func HorizonIsEdge(sys *circuit.System, tstop float64) bool {
+	// Waveforms enumerate breakpoints strictly below the stop they are
+	// given, so an edge exactly at tstop only shows up when asked for a
+	// slightly longer horizon.
+	eps := tstop * 1e-9
+	for _, d := range sys.Circuit.Devices() {
+		b, ok := d.(Breakpointer)
+		if !ok {
+			continue
+		}
+		for _, bp := range b.Breakpoints(tstop + 2*eps) {
+			if math.Abs(bp-tstop) <= eps {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // DefaultRecord returns the record list for nil Options.Record: every node
 // voltage.
 func DefaultRecord(sys *circuit.System) ([]string, []int) {
@@ -850,6 +889,7 @@ func Run(sys *circuit.System, opts Options) (result *Result, runErr error) {
 
 	bps := CollectBreakpoints(sys, opts.TStop)
 	nextBp := 0
+	horizonEdge := HorizonIsEdge(sys, opts.TStop)
 	var lteTail []*integrate.Point
 	ckptDue := false
 
@@ -976,12 +1016,15 @@ func Run(sys *circuit.System, opts Options) (result *Result, runErr error) {
 			tr.Emit(trace.Event{Kind: trace.KindAccept, T: pt.T, H: co.H0, Norm: norm, Worker: ps.WS.Worker})
 		}
 
-		if hitBp {
+		if hitBp && (t < opts.TStop*(1-1e-12) || horizonEdge) {
 			// Restart integration after the discontinuity: derivative
 			// history is invalid, so truncate it and re-enter with a step
 			// sized from the upcoming breakpoint gap (clamped by the last
 			// step), as SPICE does. LTE control resumes as soon as enough
-			// history accumulates.
+			// history accumulates. A final landing on the *plain* horizon
+			// (no waveform edge at TStop) skips the restart: the run is
+			// over, and keeping the history at full order lets a resumed
+			// continuation pick up without a restart transient.
 			for _, dp := range hist.Truncate() {
 				ps.PutPoint(dp)
 			}

@@ -229,6 +229,7 @@ func Run(sys *circuit.System, opts Options) (result *transient.Result, runErr er
 		e.afterBreak = true
 	}
 	e.bps = transient.CollectBreakpoints(sys, base.TStop)
+	e.horizonEdge = transient.HorizonIsEdge(sys, base.TStop)
 
 	for e.t() < base.TStop*(1-1e-12) {
 		if e.ckptDue {
@@ -355,11 +356,12 @@ type engine struct {
 	hist    *integrate.History
 	w       *waveform.Set
 
-	bps        []float64
-	nextBp     int
-	h          float64
-	afterBreak bool
-	warmup     int // serial stages remaining after a pipeline flush
+	bps         []float64
+	nextBp      int
+	horizonEdge bool // a device waveform edge coincides with TStop
+	h           float64
+	afterBreak  bool
+	warmup      int // serial stages remaining after a pipeline flush
 
 	// Two-level scheduling state: the run's core budget (0 = unmanaged),
 	// the per-solver intra-point gang width, the budget accountant and the
@@ -695,7 +697,7 @@ func (e *engine) serialStage() error {
 	}
 	e.accept(pt)
 	e.noteMainIters(e.solvers[0].LastIters)
-	if hitBp {
+	if hitBp && !e.finalPlainLanding() {
 		e.handleBreak(co.H0)
 		return nil
 	}
@@ -708,6 +710,15 @@ func (e *engine) serialStage() error {
 	}
 	e.nextStep(co.H0, 1, norm, co.H1)
 	return nil
+}
+
+// finalPlainLanding reports whether the engine just landed on the plain
+// simulation horizon rather than on a device waveform edge. Such a landing
+// needs no integrator restart — the run is over, and the final checkpoint
+// keeps the history at full order so a resumed continuation picks up
+// without a restart transient (see transient.HorizonIsEdge).
+func (e *engine) finalPlainLanding() bool {
+	return e.t() >= e.base.TStop*(1-1e-12) && !e.horizonEdge
 }
 
 // handleBreak restarts integration after landing on a breakpoint, sizing
@@ -882,7 +893,7 @@ func (e *engine) backwardStage() error {
 	e.accept(main.pt)
 	accepted++
 
-	if hitBp {
+	if hitBp && !e.finalPlainLanding() {
 		e.handleBreak(h0)
 		return nil
 	}

@@ -117,7 +117,7 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		// and count only new jobs. The arbiter's own bound is left effectively
 		// unbounded so a preempted job's re-acquire — already admitted work —
 		// can never be bounced by admission control.
-		arb: sched.NewArbiter(cfg.Cores, 1<<30),
+		arb:     sched.NewArbiter(cfg.Cores, 1<<30),
 		cache:   artifact.New(cfg.CacheSize),
 		metrics: trace.NewMetrics(),
 		dir:     dir,

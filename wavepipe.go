@@ -36,6 +36,7 @@ import (
 	"wavepipe/internal/transient"
 	"wavepipe/internal/waveform"
 	wpcore "wavepipe/internal/wavepipe"
+	"wavepipe/internal/windows"
 )
 
 // Ground is the reference-node index accepted by all device constructors.
@@ -83,6 +84,9 @@ type (
 	FaultRule = faults.Rule
 	// FaultClass enumerates the injectable fault classes.
 	FaultClass = faults.Class
+	// CoarseOptions tunes the time-parallel (Parareal) coarse propagator
+	// and per-window convergence gate; see TranOptions.Windows.
+	CoarseOptions = windows.CoarseOptions
 )
 
 // Injectable fault classes.
@@ -435,6 +439,21 @@ type TranOptions struct {
 	// Results are bit-identical to the serial path at every budget. 0 (the
 	// default) leaves scheduling unmanaged, as in earlier releases.
 	CoreBudget int
+	// Windows > 1 enables time-parallel simulation (pipelined Parareal):
+	// a cheap coarse propagator sweeps [0, TStop] once to seed Windows
+	// time windows, each refined concurrently by the selected engine and
+	// accepted only when it agrees with its exact predecessor within the
+	// convergence gate — otherwise the window is redone from the exact
+	// state (see CoarseOpts). Final waveforms match the serial answer
+	// within the existing accuracy gates; with CoarseOpts.Strict they are
+	// bit-identical to the sequential window chain. Windowed runs share
+	// CoreBudget across the coarse sweep and all windows, and are
+	// incompatible with the durability options (CheckpointPath,
+	// ResumeFrom, Deadline, StallFactor). 0/1 disables windowing.
+	Windows int
+	// CoarseOpts tunes the Parareal coarse propagator and convergence
+	// gate when Windows > 1; the zero value selects the defaults.
+	CoarseOpts CoarseOptions
 	// Faults injects deterministic solver faults for robustness testing
 	// (nil in production runs).
 	Faults *FaultInjector
@@ -544,6 +563,25 @@ func (o TranOptions) validate() error {
 	if o.StallFactor < 0 {
 		return fmt.Errorf("wavepipe: StallFactor must not be negative (got %g)", o.StallFactor)
 	}
+	if o.Windows < 0 {
+		return fmt.Errorf("wavepipe: Windows must not be negative (got %d)", o.Windows)
+	}
+	if o.Windows > 1024 {
+		return fmt.Errorf("wavepipe: Windows %d is not a plausible window count (max 1024)", o.Windows)
+	}
+	if o.CoarseOpts.Steps < 0 {
+		return fmt.Errorf("wavepipe: CoarseOpts.Steps must not be negative (got %d)", o.CoarseOpts.Steps)
+	}
+	if math.IsNaN(o.CoarseOpts.TolScale) || o.CoarseOpts.TolScale < 0 {
+		return fmt.Errorf("wavepipe: CoarseOpts.TolScale must not be negative or NaN (got %g)", o.CoarseOpts.TolScale)
+	}
+	if math.IsNaN(o.CoarseOpts.Gate) || o.CoarseOpts.Gate < 0 {
+		return fmt.Errorf("wavepipe: CoarseOpts.Gate must not be negative or NaN (got %g)", o.CoarseOpts.Gate)
+	}
+	if o.Windows > 1 &&
+		(o.CheckpointPath != "" || o.ResumeFrom != "" || o.Deadline > 0 || o.StallFactor > 0) {
+		return fmt.Errorf("wavepipe: Windows is incompatible with the durability options (CheckpointPath, ResumeFrom, Deadline, StallFactor): a time-parallel run has no single linear engine state to checkpoint")
+	}
 	return nil
 }
 
@@ -626,6 +664,65 @@ func RunTransientCtx(ctx context.Context, sys *System, opts TranOptions) (*Resul
 // the salvaged partial Result and any final checkpoint the deferred save
 // flushed during unwinding.
 func runEngine(sys *System, opts TranOptions, base transient.Options) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = &faults.SimError{
+				Phase: "transient", Node: -1,
+				Cause: fmt.Errorf("%w: engine panic: %v", faults.ErrWorkerPanic, r),
+			}
+		}
+	}()
+	if opts.Windows > 1 {
+		return windows.Run(sys, windows.Options{
+			W:                opts.Windows,
+			Coarse:           opts.CoarseOpts,
+			Base:             base,
+			ThreadsPerWindow: effectiveThreads(opts),
+			CoreBudget:       opts.CoreBudget,
+			Fine: func(b transient.Options) (*Result, error) {
+				return runSchemeEngine(sys, opts, b)
+			},
+		})
+	}
+	return runSchemeEngine(sys, opts, base)
+}
+
+// effectiveThreads is the core cost of one fine engine instance under the
+// selected scheme — the gang width the window coordinator splits the core
+// budget by. It mirrors the engines' own defaulting (wpcore.withDefaults).
+func effectiveThreads(opts TranOptions) int {
+	th := opts.Threads
+	switch opts.Scheme {
+	case Serial:
+		return 1
+	case FineGrained:
+		if th <= 1 {
+			th = 2
+		}
+		return th
+	case Forward:
+		return 2
+	case Backward:
+		if th <= 0 {
+			th = 2
+		}
+	case Combined:
+		if th <= 0 {
+			th = 3
+		}
+	}
+	if th > 4 {
+		th = 4
+	}
+	return th
+}
+
+// runSchemeEngine dispatches one engine run. It carries its own panic
+// containment because the window coordinator calls it from per-window
+// worker goroutines, where an escaping panic would tear down the process
+// instead of unwinding through runEngine's recover.
+func runSchemeEngine(sys *System, opts TranOptions, base transient.Options) (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = nil

@@ -51,6 +51,14 @@ type TranOptions struct {
 	SnapshotEvery    int                `json:"snapshotEvery,omitempty"`
 	Deadline         string             `json:"deadline,omitempty"`
 	StallFactor      float64            `json:"stallFactor,omitempty"`
+	// Time-parallel (Parareal) window configuration. Additive since
+	// schemaVersion 1: absent fields mean no windowing, so documents from
+	// older peers decode unchanged.
+	Windows        int     `json:"windows,omitempty"`
+	CoarseSteps    int     `json:"coarseSteps,omitempty"`
+	CoarseTolScale float64 `json:"coarseTolScale,omitempty"`
+	WindowGate     float64 `json:"windowGate,omitempty"`
+	WindowStrict   bool    `json:"windowStrict,omitempty"`
 }
 
 // FromTranOptions converts facade options to their wire form.
@@ -73,6 +81,11 @@ func FromTranOptions(o wavepipe.TranOptions) TranOptions {
 		CoreBudget:       o.CoreBudget,
 		SnapshotEvery:    o.SnapshotEvery,
 		StallFactor:      o.StallFactor,
+		Windows:          o.Windows,
+		CoarseSteps:      o.CoarseOpts.Steps,
+		CoarseTolScale:   o.CoarseOpts.TolScale,
+		WindowGate:       o.CoarseOpts.Gate,
+		WindowStrict:     o.CoarseOpts.Strict,
 	}
 	if o.Scheme != wavepipe.Serial {
 		w.Scheme = o.Scheme.String()
@@ -110,6 +123,13 @@ func (w TranOptions) ToTranOptions() (wavepipe.TranOptions, error) {
 		CoreBudget:       w.CoreBudget,
 		SnapshotEvery:    w.SnapshotEvery,
 		StallFactor:      w.StallFactor,
+		Windows:          w.Windows,
+		CoarseOpts: wavepipe.CoarseOptions{
+			Steps:    w.CoarseSteps,
+			TolScale: w.CoarseTolScale,
+			Gate:     w.WindowGate,
+			Strict:   w.WindowStrict,
+		},
 	}
 	var err error
 	if o.Scheme, err = wavepipe.ParseScheme(w.Scheme); err != nil {
@@ -171,6 +191,9 @@ type Stats struct {
 	PipelineWorkers        int   `json:"pipelineWorkers"`
 	IntraWorkers           int   `json:"intraWorkers"`
 	PipelineSerialized     bool  `json:"pipelineSerialized"`
+	WindowsLaunched        int64 `json:"windowsLaunched"`
+	PararealIters          int64 `json:"pararealIters"`
+	WindowRedos            int64 `json:"windowRedos"`
 }
 
 // FromStats converts engine statistics to their wire form.
@@ -197,6 +220,9 @@ func FromStats(s wavepipe.Stats) Stats {
 		PipelineWorkers:        s.PipelineWorkers,
 		IntraWorkers:           s.IntraWorkers,
 		PipelineSerialized:     s.PipelineSerialized,
+		WindowsLaunched:        s.WindowsLaunched,
+		PararealIters:          s.PararealIters,
+		WindowRedos:            s.WindowRedos,
 	}
 }
 
@@ -224,6 +250,9 @@ func (w Stats) ToStats() wavepipe.Stats {
 		PipelineWorkers:        w.PipelineWorkers,
 		IntraWorkers:           w.IntraWorkers,
 		PipelineSerialized:     w.PipelineSerialized,
+		WindowsLaunched:        w.WindowsLaunched,
+		PararealIters:          w.PararealIters,
+		WindowRedos:            w.WindowRedos,
 	}
 }
 

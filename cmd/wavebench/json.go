@@ -621,3 +621,130 @@ func figWindowScale(benchName string, maxCores int, jsonOut bool) error {
 	}
 	return nil
 }
+
+// reduceScaleRecord is one point of the parasitic-reduction sweep.
+type reduceScaleRecord struct {
+	Circuit        string  `json:"circuit"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	Mode           string  `json:"mode"` // off | reduced | exact
+	Tol            float64 `json:"tol"`
+	FullNodes      int     `json:"full_nodes"`
+	Nodes          int     `json:"nodes"` // MNA nodes actually simulated
+	ReducedNodes   int64   `json:"reduced_nodes"`
+	ReducedDevices int64   `json:"reduced_devices"`
+	NodeReduction  float64 `json:"node_reduction"` // full_nodes / nodes
+	Points         int     `json:"points"`
+	WallNs         int64   `json:"wall_ns"`
+	CriticalNs     int64   `json:"critical_ns"`
+	Speedup        float64 `json:"speedup"` // off wall / this wall (end to end)
+	RelMaxDev      float64 `json:"rel_max_dev"`
+}
+
+// figReduceScale sweeps the structural parasitic-reduction pass over RC
+// ladders of growing length plus the grid16 mesh as a negative control
+// (every mesh node carries four devices, so the pass is a provable
+// no-op there). Each circuit runs three ways on one thread: reduction
+// off (the reference), reduction on at the default tolerance, and
+// exact mode (ReduceTol=0, series merges only — bit-identical by
+// construction on these decks because the lumping stage is what the
+// ladders exercise). The reduced runs pay for planning and rebuilding
+// the smaller system inside the timed region, so Speedup is the honest
+// end-to-end wall ratio, and every record carries the probe's relative
+// deviation from the unreduced waveform.
+func figReduceScale(benchName string, jsonOut bool) error {
+	ladder := func(n int) circuits.Benchmark {
+		return circuits.Benchmark{
+			Name:  fmt.Sprintf("ladder%d", n),
+			Kind:  "analog",
+			Make:  func() *circuit.Circuit { return circuits.RCLadder(n) },
+			TStop: 100e-9,
+			Probe: "out",
+		}
+	}
+	benches := []circuits.Benchmark{ladder(100), ladder(200), ladder(400), ladder(800)}
+	if grid, ok := findBench("grid16"); ok {
+		benches = append(benches, grid)
+	}
+	if benchName != "" && benchName != "all" {
+		kept := benches[:0]
+		for _, b := range benches {
+			if b.Name == benchName {
+				kept = append(kept, b)
+			}
+		}
+		if len(kept) == 0 {
+			b, ok := findBench(benchName)
+			if !ok {
+				return fmt.Errorf("no benchmark circuit %q", benchName)
+			}
+			kept = append(kept, b)
+		}
+		benches = kept
+	}
+	var records []reduceScaleRecord
+	for _, b := range benches {
+		sys, err := build(b)
+		if err != nil {
+			return err
+		}
+		base := wavepipe.TranOptions{TStop: window(b), Record: []string{b.Probe}}
+		offWall, ref, err := timed(sys, base)
+		if err != nil {
+			return err
+		}
+		records = append(records, reduceScaleRecord{
+			Circuit: b.Name, GOMAXPROCS: runtime.GOMAXPROCS(0), Mode: "off",
+			FullNodes: sys.NumNodes, Nodes: sys.NumNodes, NodeReduction: 1,
+			Points: ref.Stats.Points, WallNs: offWall.Nanoseconds(),
+			CriticalNs: ref.Stats.CriticalNanos, Speedup: 1,
+		})
+		run := func(mode string, tol float64) error {
+			opts := base
+			opts.Reduce = true
+			opts.ReduceTol = tol
+			wall, res, err := timed(sys, opts)
+			if err != nil {
+				return err
+			}
+			dev, err := wavepipe.Compare(res.W, ref.W, b.Probe)
+			if err != nil {
+				return err
+			}
+			post := sys.NumNodes - int(res.Stats.ReducedNodes)
+			records = append(records, reduceScaleRecord{
+				Circuit: b.Name, GOMAXPROCS: runtime.GOMAXPROCS(0), Mode: mode,
+				Tol:            tol,
+				FullNodes:      sys.NumNodes,
+				Nodes:          post,
+				ReducedNodes:   res.Stats.ReducedNodes,
+				ReducedDevices: res.Stats.ReducedDevices,
+				NodeReduction:  float64(sys.NumNodes) / float64(post),
+				Points:         res.Stats.Points,
+				WallNs:         wall.Nanoseconds(),
+				CriticalNs:     res.Stats.CriticalNanos,
+				Speedup:        float64(offWall.Nanoseconds()) / float64(wall.Nanoseconds()),
+				RelMaxDev:      dev.RelMax(),
+			})
+			return nil
+		}
+		if err := run("reduced", wavepipe.DefaultReduceTol); err != nil {
+			return err
+		}
+		if err := run("exact", 0); err != nil {
+			return err
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(records)
+	}
+	fmt.Printf("Figure F11: parasitic reduction vs ladder size (GOMAXPROCS=%d)\n", runtime.GOMAXPROCS(0))
+	fmt.Println("circuit,mode,tol,full_nodes,nodes,node_reduction,points,wall_ms,crit_ms,speedup,rel_max_dev")
+	for _, r := range records {
+		fmt.Printf("%s,%s,%g,%d,%d,%.1f,%d,%.2f,%.2f,%.2f,%.2e\n",
+			r.Circuit, r.Mode, r.Tol, r.FullNodes, r.Nodes, r.NodeReduction, r.Points,
+			float64(r.WallNs)/1e6, float64(r.CriticalNs)/1e6, r.Speedup, r.RelMaxDev)
+	}
+	return nil
+}

@@ -56,7 +56,7 @@ func isFlagSet(name string) bool {
 
 func main() {
 	table := flag.Int("table", 0, "regenerate table N (1-4)")
-	fig := flag.String("fig", "", "regenerate figure: stepsize, accuracy, scaling, work, fwp, ablation, loadscale, corescale, bypassscale, lanescale, windowscale")
+	fig := flag.String("fig", "", "regenerate figure: stepsize, accuracy, scaling, work, fwp, ablation, loadscale, corescale, bypassscale, lanescale, windowscale, reducescale")
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON metrics (see -bench, -bypasstol)")
 	benchName := flag.String("bench", "grid16", "circuit for -json, -fig corescale and -fig bypassscale (a suite name, or all)")
@@ -124,6 +124,17 @@ func main() {
 			name = "" // default to the ladder400+grid16 pair, not grid16
 		}
 		if err := figWindowScale(name, *maxCores, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "wavebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fig == "reducescale" {
+		name := *benchName
+		if !isFlagSet("bench") {
+			name = "" // default to the full ladder sweep + grid16 control
+		}
+		if err := figReduceScale(name, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "wavebench:", err)
 			os.Exit(1)
 		}

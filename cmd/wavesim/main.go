@@ -127,6 +127,8 @@ type runConfig struct {
 	coarseTol    float64
 	windowGate   float64
 	windowStrict bool
+	reduceOn     bool
+	reduceTol    float64
 	bypassTol    float64
 	devBypass    bool
 	stats        bool
@@ -167,6 +169,8 @@ func main() {
 	flag.Float64Var(&cfg.coarseTol, "coarse-tolscale", 0, "coarse-propagator Newton-tolerance loosening factor (0 = default 8; requires -windows)")
 	flag.Float64Var(&cfg.windowGate, "window-gate", 0, "per-window convergence gate in fine error weights (0 = default 2; requires -windows)")
 	flag.BoolVar(&cfg.windowStrict, "window-strict", false, "never accept a speculative window: bit-identical to the sequential window chain (requires -windows)")
+	flag.BoolVar(&cfg.reduceOn, "reduce", false, "collapse series R/L chains and lump uniform RC ladders before simulation (probed nodes are preserved; suppressed waveforms are reconstructed)")
+	flag.Float64Var(&cfg.reduceTol, "reduce-tol", wavepipe.DefaultReduceTol, "ladder-lumping waveform error budget for -reduce (0 = exact mode: series merges only)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: wavesim [flags] deck.sp")
@@ -333,6 +337,10 @@ func run(ctx context.Context, cfg runConfig) error {
 	opts.CheckpointEvery = cfg.ckptEvery
 	opts.ResumeFrom = cfg.resumePath
 	opts.StallFactor = cfg.stallFactor
+	opts.Reduce = cfg.reduceOn
+	if cfg.reduceOn {
+		opts.ReduceTol = cfg.reduceTol
+	}
 	opts.Windows = cfg.windows
 	opts.CoarseOpts = wavepipe.CoarseOptions{
 		Steps:    cfg.coarseSteps,
@@ -445,6 +453,11 @@ func run(ctx context.Context, cfg runConfig) error {
 			fmt.Fprintf(os.Stderr,
 				"wavesim: time-parallel windows=%d parareal-iters=%d redos=%d\n",
 				res.Stats.WindowsLaunched, res.Stats.PararealIters, res.Stats.WindowRedos)
+		}
+		if cfg.reduceOn {
+			fmt.Fprintf(os.Stderr,
+				"wavesim: reduction: nodes-removed=%d devices-removed=%d (tol=%g)\n",
+				res.Stats.ReducedNodes, res.Stats.ReducedDevices, cfg.reduceTol)
 		}
 		for _, e := range res.Recovery.Events() {
 			fmt.Fprintf(os.Stderr, "wavesim:   recovery at t=%g: %s %s\n", e.T, e.Kind, e.Detail)

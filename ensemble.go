@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"strings"
 
+	"wavepipe/internal/circuit"
 	"wavepipe/internal/device"
 	"wavepipe/internal/ensemble"
 	"wavepipe/internal/netlist"
+	"wavepipe/internal/reduce"
 	"wavepipe/internal/trace"
 )
 
@@ -88,13 +90,22 @@ func RunEnsembleCtx(ctx context.Context, d *Deck, variants []LaneSpec, opts Tran
 		}
 		lanes[i] = ensemble.Lane{Name: laneName(spec.Name, i), Circ: ld.Circuit}
 	}
+	// Per-lane device overrides must survive reduction untouched: merging
+	// an overridden instance into a lumped equivalent would silently drop
+	// the perturbation, so its terminals are pinned for every lane.
+	var keepDevices []string
+	for _, spec := range variants {
+		for name := range spec.Devices {
+			keepDevices = append(keepDevices, name)
+		}
+	}
 	// The host system supplies the shared symbolic analysis; build it from
 	// lane 0 so its pattern reflects the elaborated variant devices.
 	sys, err := lanes[0].Circ.Build()
 	if err != nil {
 		return nil, err
 	}
-	return runEnsemble(ctx, sys, lanes, opts)
+	return runEnsemble(ctx, sys, lanes, opts, keepDevices)
 }
 
 // RunEnsembleCircuits is RunEnsemble over programmatically built variant
@@ -121,11 +132,11 @@ func RunEnsembleCircuitsCtx(ctx context.Context, circs []*Circuit, opts TranOpti
 	if err != nil {
 		return nil, err
 	}
-	return runEnsemble(ctx, sys, lanes, opts)
+	return runEnsemble(ctx, sys, lanes, opts, nil)
 }
 
 // runEnsemble translates facade options and dispatches the batch engine.
-func runEnsemble(ctx context.Context, sys *System, lanes []ensemble.Lane, opts TranOptions) (*EnsembleResult, error) {
+func runEnsemble(ctx context.Context, sys *System, lanes []ensemble.Lane, opts TranOptions, keepDevices []string) (*EnsembleResult, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
@@ -143,6 +154,10 @@ func runEnsemble(ctx context.Context, sys *System, lanes []ensemble.Lane, opts T
 	case opts.Windows > 1:
 		return nil, fmt.Errorf("wavepipe: time-parallel windows are not supported inside ensemble lanes (run lanes or windows, not both)")
 	}
+	sys, infos, err := reduceEnsemble(sys, lanes, opts, keepDevices)
+	if err != nil {
+		return nil, err
+	}
 	base, err := baseOptions(sys, opts)
 	if err != nil {
 		return nil, err
@@ -155,7 +170,61 @@ func runEnsemble(ctx context.Context, sys *System, lanes []ensemble.Lane, opts T
 		Workers: opts.Threads,
 		Trace:   trace.New(opts.Observer, opts.SnapshotEvery),
 	})
+	if res != nil && infos != nil {
+		for i := range res.Lanes {
+			lr := &res.Lanes[i]
+			if i >= len(infos) || infos[i] == nil || lr.Res == nil {
+				continue
+			}
+			lr.Res.Stats.ReducedNodes = int64(infos[i].RemovedNodes)
+			lr.Res.Stats.ReducedDevices = int64(infos[i].RemovedDevices)
+			if opts.Record == nil && lr.Res.W != nil {
+				lr.Res.W = expandSet(infos[i], lr.Res.W)
+			}
+		}
+		res.Stats.ReducedNodes = int64(infos[0].RemovedNodes)
+		res.Stats.ReducedDevices = int64(infos[0].RemovedDevices)
+	}
 	return res, err
+}
+
+// reduceEnsemble applies one shared reduction plan to every lane. The plan
+// is computed from lane 0 and contains only value-independent structural
+// decisions, so applying it lane-by-lane keeps the variants structurally
+// identical — the invariant the struct-of-arrays batch engine binds lanes
+// under. Per-lane Apply recomputes merged and lumped values from each
+// lane's own parameters, and the per-lane expansion records are returned
+// for waveform reconstruction.
+func reduceEnsemble(sys *System, lanes []ensemble.Lane, opts TranOptions, keepDevices []string) (*System, []*circuit.ReducedInfo, error) {
+	if !opts.Reduce || sys.Reduction() != nil {
+		return sys, nil, nil
+	}
+	plan, err := reduce.New(lanes[0].Circ, reduce.Options{
+		Tol:         opts.ReduceTol,
+		Keep:        reduceKeepList(opts),
+		KeepDevices: keepDevices,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if plan.Empty() {
+		return sys, nil, nil
+	}
+	infos := make([]*circuit.ReducedInfo, len(lanes))
+	for i := range lanes {
+		rc, ri, aerr := plan.Apply(lanes[i].Circ)
+		if aerr != nil {
+			return nil, nil, fmt.Errorf("wavepipe: ensemble lane %q: %w", lanes[i].Name, aerr)
+		}
+		lanes[i].Circ = rc
+		infos[i] = ri
+	}
+	rsys, err := lanes[0].Circ.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("wavepipe: reduced ensemble circuit failed to build: %w", err)
+	}
+	rsys.SetReduction(infos[0])
+	return rsys, infos, nil
 }
 
 // laneName applies the "laneN" default.

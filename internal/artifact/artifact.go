@@ -20,12 +20,15 @@ package artifact
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"wavepipe/internal/circuit"
 	"wavepipe/internal/netlist"
+	"wavepipe/internal/reduce"
 )
 
 // Entry is one cached compilation: the parsed deck and its compiled,
@@ -105,16 +108,64 @@ func Key(canonical string) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// BuildOptions carries every option that shapes the compiled System beyond
+// the netlist itself. Anything here MUST be folded into the cache key: a
+// System built under one reduction configuration is a different artifact
+// from the same deck built under another, and serving a reduced System to
+// an unreduced job (or vice versa) would silently change its results.
+type BuildOptions struct {
+	// Reduce enables the parasitic-reduction pass at build time.
+	Reduce bool
+	// ReduceTol is the ladder-lumping error budget (0 = exact mode).
+	ReduceTol float64
+	// ReduceKeep lists node names the pass must preserve (the caller's
+	// record/keep/IC/NODESET names; the deck's own .PRINT, .IC and
+	// .NODESET references are added automatically).
+	ReduceKeep []string
+}
+
+// keySuffix renders the build-shaping options into the hashed key material.
+// keep must already be the full resolved keep list.
+func (bo BuildOptions) keySuffix(keep []string) string {
+	if !bo.Reduce {
+		return ""
+	}
+	norm := make([]string, 0, len(keep))
+	seen := map[string]bool{}
+	for _, n := range keep {
+		n = strings.ToLower(strings.TrimSpace(n))
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		norm = append(norm, n)
+	}
+	sort.Strings(norm)
+	return fmt.Sprintf("\n.reduce tol=%.17g keep=%s\n", bo.ReduceTol, strings.Join(norm, ","))
+}
+
 // Compile parses src and returns its compiled entry, reusing a cached
-// System when an equivalent netlist was compiled before. hit reports
-// whether the symbolic analysis was skipped. Parse and build errors are
-// returned unchanged (and never cached).
-func (c *Cache) Compile(src string) (e *Entry, hit bool, err error) {
+// System when an equivalent netlist was compiled before under the same
+// build-shaping options. hit reports whether the symbolic analysis was
+// skipped. Parse, reduction and build errors are returned unchanged (and
+// never cached).
+func (c *Cache) Compile(src string, bo BuildOptions) (e *Entry, hit bool, err error) {
 	deck, err := netlist.Parse(src)
 	if err != nil {
 		return nil, false, err
 	}
-	key := Key(Canonical(deck))
+	var keep []string
+	if bo.Reduce {
+		keep = append(keep, bo.ReduceKeep...)
+		keep = append(keep, deck.Prints...)
+		for name := range deck.ICs {
+			keep = append(keep, name)
+		}
+		for name := range deck.NodeSets {
+			keep = append(keep, name)
+		}
+	}
+	key := Key(Canonical(deck) + bo.keySuffix(keep))
 
 	c.mu.Lock()
 	if s, ok := c.entries[key]; ok {
@@ -131,9 +182,27 @@ func (c *Cache) Compile(src string) (e *Entry, hit bool, err error) {
 	// harmless — last insert wins and the loser is garbage collected.
 	c.misses.Add(1)
 	c.builds.Add(1)
-	sys, err := deck.Circuit.Build()
+	circ := deck.Circuit
+	var info *circuit.ReducedInfo
+	if bo.Reduce {
+		rc, ri, rerr := reduce.Reduce(circ, reduce.Options{Tol: bo.ReduceTol, Keep: keep})
+		if rerr != nil {
+			return nil, false, rerr
+		}
+		circ = rc
+		if ri == nil {
+			// No-op pass: attach an identity marker so the facade never
+			// re-runs reduction on a System the cache already vetted.
+			ri = identityReduction(circ)
+		}
+		info = ri
+	}
+	sys, err := circ.Build()
 	if err != nil {
 		return nil, false, err
+	}
+	if info != nil {
+		sys.SetReduction(info)
 	}
 	sys.Prewarm()
 	e = &Entry{Key: key, Deck: deck, Sys: sys}
@@ -153,6 +222,23 @@ func (c *Cache) Compile(src string) (e *Entry, hit bool, err error) {
 	}
 	c.mu.Unlock()
 	return e, false, nil
+}
+
+// identityReduction builds the no-op marker record: every node retained,
+// nothing suppressed. Its presence on a System means "the reduction pass
+// already ran here" without changing any result.
+func identityReduction(c *circuit.Circuit) *circuit.ReducedInfo {
+	n := c.NumNodes()
+	ri := &circuit.ReducedInfo{
+		OrigNodes: make([]string, n),
+		NodeMap:   make([]int, n),
+		Expansion: make([][]circuit.ExpandTerm, n),
+	}
+	for i := 0; i < n; i++ {
+		ri.OrigNodes[i] = c.NodeName(i)
+		ri.NodeMap[i] = i
+	}
+	return ri
 }
 
 // Len returns the number of cached entries.

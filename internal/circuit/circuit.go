@@ -261,6 +261,10 @@ type System struct {
 	// that enables device bypass, nil when the circuit does not support it.
 	incOnce sync.Once
 	inc     *incBasis
+
+	// reduced records how this System was derived from a larger circuit by
+	// the parasitic-reduction pass (nil when built directly); see reduced.go.
+	reduced *ReducedInfo
 }
 
 // fillOrdering returns the shared fill-reducing ordering, computing it on

@@ -1,0 +1,71 @@
+package circuit
+
+// Renoder is implemented by devices that can clone themselves onto a new
+// node numbering. The reduction pass (internal/reduce) compacts node
+// indices when it suppresses internal nodes, so every surviving device must
+// be re-instantiated against the reduced numbering. remap receives an
+// original node index (or Ground) and returns the reduced index; it must be
+// applied to every terminal. Devices holding cross-device references
+// (current-controlled sources, mutual inductors) do not implement Renoder,
+// which makes circuits containing them ineligible for reduction as a whole.
+type Renoder interface {
+	Device
+	// Renoded returns a fresh, unbound instance of the device with every
+	// terminal index passed through remap. The clone must re-derive any
+	// value-dependent internals exactly as the constructor would.
+	Renoded(remap func(int) int) Device
+}
+
+// ExpandTerm is one weighted contribution to a suppressed node's voltage:
+// W times the voltage of reduced node Node (Ground contributes zero and is
+// never stored).
+type ExpandTerm struct {
+	Node int
+	W    float64
+}
+
+// ReducedInfo describes how a reduced System relates to the circuit it was
+// derived from: which original nodes survived, how suppressed node
+// waveforms are reconstructed, and the reduction counters the facade
+// surfaces as Stats.ReducedNodes/ReducedDevices. It is immutable after
+// construction and shared freely across runs.
+type ReducedInfo struct {
+	// OrigNodes holds the original circuit's node names in original order.
+	OrigNodes []string
+	// NodeMap maps each original node index to its reduced index, or -1 for
+	// a suppressed node.
+	NodeMap []int
+	// Expansion holds, for each suppressed original node, the affine
+	// combination of reduced node voltages that reconstructs it (series
+	// interior nodes exactly, lumped ladder interiors within the error
+	// budget). Entries for retained nodes are nil.
+	Expansion [][]ExpandTerm
+	// RemovedNodes and RemovedDevices count what the pass suppressed.
+	RemovedNodes   int
+	RemovedDevices int
+	// Tol is the error budget the plan was built under (0 = exact mode).
+	Tol float64
+}
+
+// ExpandValue reconstructs one original node's voltage from a row of
+// reduced node voltages (indexed by reduced node number).
+func (ri *ReducedInfo) ExpandValue(orig int, reduced []float64) float64 {
+	if j := ri.NodeMap[orig]; j >= 0 {
+		return reduced[j]
+	}
+	v := 0.0
+	for _, t := range ri.Expansion[orig] {
+		v += t.W * reduced[t.Node]
+	}
+	return v
+}
+
+// SetReduction attaches the reduction record to a compiled System. The
+// facade and the artifact cache use a non-nil record to recognize a System
+// that has already been through the pass (including a no-op pass) and must
+// not be reduced again.
+func (s *System) SetReduction(ri *ReducedInfo) { s.reduced = ri }
+
+// Reduction returns the reduction record attached via SetReduction, or nil
+// for a System built directly from an unreduced circuit.
+func (s *System) Reduction() *ReducedInfo { return s.reduced }

@@ -1,0 +1,70 @@
+package device
+
+import "wavepipe/internal/circuit"
+
+// Renoded implementations: each clonable device rebuilds itself through its
+// own constructor with remapped terminal indices, so value-derived internals
+// (conductance, vcrit, oxide capacitances) are recomputed exactly as a fresh
+// elaboration would. Devices holding cross-device references (CCCS, CCVS,
+// Mutual) and the time-varying-topology Switch deliberately do not implement
+// circuit.Renoder: their presence disables the reduction pass for the whole
+// circuit (see internal/reduce).
+
+// Renoded implements circuit.Renoder.
+func (d *Resistor) Renoded(remap func(int) int) circuit.Device {
+	return NewResistor(d.Inst, remap(d.P), remap(d.N), d.R)
+}
+
+// Renoded implements circuit.Renoder.
+func (d *Capacitor) Renoded(remap func(int) int) circuit.Device {
+	return NewCapacitor(d.Inst, remap(d.P), remap(d.N), d.C)
+}
+
+// Renoded implements circuit.Renoder.
+func (d *Inductor) Renoded(remap func(int) int) circuit.Device {
+	return NewInductor(d.Inst, remap(d.P), remap(d.N), d.L)
+}
+
+// Renoded implements circuit.Renoder.
+func (d *VSource) Renoded(remap func(int) int) circuit.Device {
+	nd := NewVSource(d.Inst, remap(d.P), remap(d.N), d.W)
+	nd.ACMag, nd.ACPhase = d.ACMag, d.ACPhase
+	return nd
+}
+
+// Renoded implements circuit.Renoder.
+func (d *ISource) Renoded(remap func(int) int) circuit.Device {
+	nd := NewISource(d.Inst, remap(d.P), remap(d.N), d.W)
+	nd.ACMag, nd.ACPhase = d.ACMag, d.ACPhase
+	return nd
+}
+
+// Renoded implements circuit.Renoder.
+func (d *VCVS) Renoded(remap func(int) int) circuit.Device {
+	return NewVCVS(d.Inst, remap(d.P), remap(d.N), remap(d.CP), remap(d.CN), d.Gain)
+}
+
+// Renoded implements circuit.Renoder.
+func (d *VCCS) Renoded(remap func(int) int) circuit.Device {
+	return NewVCCS(d.Inst, remap(d.P), remap(d.N), remap(d.CP), remap(d.CN), d.Gm)
+}
+
+// Renoded implements circuit.Renoder.
+func (d *Diode) Renoded(remap func(int) int) circuit.Device {
+	return NewDiode(d.Inst, remap(d.P), remap(d.N), d.Model, d.Area)
+}
+
+// Renoded implements circuit.Renoder.
+func (d *MOSFET) Renoded(remap func(int) int) circuit.Device {
+	return NewMOSFET(d.Inst, remap(d.D), remap(d.G), remap(d.S), remap(d.B), d.Model, d.W, d.L)
+}
+
+// Renoded implements circuit.Renoder.
+func (d *MOSFETEKV) Renoded(remap func(int) int) circuit.Device {
+	return NewMOSFETEKV(d.Inst, remap(d.D), remap(d.G), remap(d.S), remap(d.B), d.Model, d.W, d.L)
+}
+
+// Renoded implements circuit.Renoder.
+func (d *BJT) Renoded(remap func(int) int) circuit.Device {
+	return NewBJT(d.Inst, remap(d.C), remap(d.B), remap(d.E), d.Model, d.Area)
+}

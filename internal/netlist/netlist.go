@@ -49,6 +49,15 @@ type Deck struct {
 	NodeSets map[string]float64 // node name -> OP initial guess (.NODESET)
 	Options  map[string]float64 // lower-cased .OPTIONS entries
 	Params   map[string]float64 // resolved .PARAM values (lower-cased names)
+	// Prints lists node names referenced by .PRINT/.PLOT/.PROBE/.SAVE
+	// cards through v(node) terms. The simulator does not format print
+	// output, but the parasitic-reduction pass must never collapse a node
+	// the deck asks to observe, so these names feed the reduction keep
+	// list. The deck writer deliberately does not emit the cards: they do
+	// not change the circuit, and keeping them out of the canonical form
+	// leaves artifact-cache keying to the layer that owns reduction
+	// options.
+	Prints []string
 	// Src retains the deck text Parse consumed, so variant decks (ensemble
 	// lanes with .PARAM overrides) can be re-elaborated without the caller
 	// keeping the source around.
@@ -730,7 +739,19 @@ func (p *parser) parseDirective(fields []string) error {
 		}
 		p.deck.DC = &DCSpec{Source: fields[1], Start: start, Stop: stop, Step: step}
 		return nil
-	case ".print", ".plot", ".probe", ".save", ".op", ".temp", ".global":
+	case ".print", ".plot", ".probe", ".save":
+		// Output cards produce no simulator action, but v(node) references
+		// mark nodes the user observes: record them so reduction keeps them.
+		for _, f := range fields[1:] {
+			low := strings.ToLower(f)
+			if strings.HasPrefix(low, "v(") && strings.HasSuffix(low, ")") {
+				if name := strings.TrimSpace(f[2 : len(f)-1]); name != "" {
+					p.deck.Prints = append(p.deck.Prints, name)
+				}
+			}
+		}
+		return nil
+	case ".op", ".temp", ".global":
 		return nil // accepted and ignored
 	default:
 		return fmt.Errorf("netlist: unsupported directive %q", fields[0])

@@ -1,0 +1,326 @@
+package reduce_test
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"wavepipe/internal/circuit"
+	"wavepipe/internal/circuits"
+	"wavepipe/internal/device"
+	"wavepipe/internal/reduce"
+)
+
+// seriesChain builds in --R1-- a --R2-- b --R3-- out --Rload-- gnd with a
+// source driving "in"; a and b are exact series-merge candidates.
+func seriesChain() *circuit.Circuit {
+	c := circuit.New("series")
+	in := c.Node("in")
+	a := c.Node("a")
+	b := c.Node("b")
+	out := c.Node("out")
+	c.Add(device.NewVSource("Vin", in, circuit.Ground, device.DC(1)))
+	c.Add(device.NewResistor("R1", in, a, 10))
+	c.Add(device.NewResistor("R2", a, b, 20))
+	c.Add(device.NewResistor("R3", b, out, 30))
+	c.Add(device.NewResistor("Rload", out, circuit.Ground, 40))
+	return c
+}
+
+func TestSeriesResistorMergeExact(t *testing.T) {
+	c := seriesChain()
+	rc, info, err := reduce.Reduce(c, reduce.Options{Keep: []string{"out"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc == c {
+		t.Fatal("expected a reduced circuit, got the original")
+	}
+	if got := rc.NumNodes(); got != 2 {
+		t.Fatalf("reduced nodes = %d, want 2 (in, out)", got)
+	}
+	if info.RemovedNodes != 2 || info.RemovedDevices != 2 {
+		t.Fatalf("counters = %d nodes/%d devices, want 2/2", info.RemovedNodes, info.RemovedDevices)
+	}
+	if _, err := rc.Build(); err != nil {
+		t.Fatalf("reduced circuit does not build: %v", err)
+	}
+	// Merged resistor: one device named R1 with R = 60 spanning in--out.
+	var merged *device.Resistor
+	for _, d := range rc.Devices() {
+		if r, ok := d.(*device.Resistor); ok && r.Name() == "R1" {
+			merged = r
+		}
+	}
+	if merged == nil || merged.R != 60 {
+		t.Fatalf("merged resistor = %+v, want R1 with R=60", merged)
+	}
+
+	// Exact expansion: with v(in)=1, v(out)=0.4 (divider 60/40), the
+	// suppressed interiors sit at the resistive divider points.
+	inIdx, _ := c.FindNode("in")
+	outIdx, _ := c.FindNode("out")
+	aIdx, _ := c.FindNode("a")
+	bIdx, _ := c.FindNode("b")
+	row := make([]float64, rc.NumNodes())
+	row[info.NodeMap[inIdx]] = 1.0
+	row[info.NodeMap[outIdx]] = 0.4
+	va := info.ExpandValue(aIdx, row)
+	vb := info.ExpandValue(bIdx, row)
+	wantA := 1.0 - 0.6*10/60 // cumulative R fraction along the chain
+	wantB := 1.0 - 0.6*30/60
+	if math.Abs(va-wantA) > 1e-12 || math.Abs(vb-wantB) > 1e-12 {
+		t.Fatalf("expansion: v(a)=%g v(b)=%g, want %g %g", va, vb, wantA, wantB)
+	}
+	// Retained nodes expand to themselves.
+	if v := info.ExpandValue(outIdx, row); v != 0.4 {
+		t.Fatalf("retained node expansion = %g, want 0.4", v)
+	}
+}
+
+func TestSeriesInductorMerge(t *testing.T) {
+	c := circuit.New("lchain")
+	in := c.Node("in")
+	a := c.Node("a")
+	out := c.Node("out")
+	c.Add(device.NewVSource("Vin", in, circuit.Ground, device.DC(1)))
+	c.Add(device.NewInductor("L1", in, a, 1e-9))
+	c.Add(device.NewInductor("L2", a, out, 3e-9))
+	c.Add(device.NewResistor("Rload", out, circuit.Ground, 50))
+	rc, info, err := reduce.Reduce(c, reduce.Options{Keep: []string{"out"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc == c || info.RemovedNodes != 1 {
+		t.Fatalf("expected 1 suppressed node, got info=%+v", info)
+	}
+	var merged *device.Inductor
+	for _, d := range rc.Devices() {
+		if l, ok := d.(*device.Inductor); ok && l.Name() == "L1" {
+			merged = l
+		}
+	}
+	if merged == nil || math.Abs(merged.L-4e-9) > 1e-24 {
+		t.Fatalf("merged inductor = %+v, want L=4e-9", merged)
+	}
+	if _, err := rc.Build(); err != nil {
+		t.Fatalf("reduced circuit does not build: %v", err)
+	}
+	// Inductive divider: v(a) = v(in) - (L1/Ltot)(v(in)-v(out)).
+	aIdx, _ := c.FindNode("a")
+	inIdx, _ := c.FindNode("in")
+	outIdx, _ := c.FindNode("out")
+	row := make([]float64, rc.NumNodes())
+	row[info.NodeMap[inIdx]] = 1.0
+	row[info.NodeMap[outIdx]] = 0.2
+	want := 1.0 - (1e-9/4e-9)*0.8
+	if v := info.ExpandValue(aIdx, row); math.Abs(v-want) > 1e-12 {
+		t.Fatalf("v(a) = %g, want %g", v, want)
+	}
+}
+
+func TestLadderLumpCounts(t *testing.T) {
+	c := circuits.RCLadder(100)
+	rc, info, err := reduce.Reduce(c, reduce.Options{Tol: 0.02, Keep: []string{"in", "out"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc == c {
+		t.Fatal("ladder should reduce")
+	}
+	s := reduce.Sections(0.02)
+	// in + out + (s-1) retained interiors.
+	want := 2 + s - 1
+	if got := rc.NumNodes(); got != want {
+		t.Fatalf("reduced nodes = %d, want %d (sections=%d)", got, want, s)
+	}
+	if info.RemovedNodes != c.NumNodes()-want {
+		t.Fatalf("RemovedNodes = %d, want %d", info.RemovedNodes, c.NumNodes()-want)
+	}
+	if _, err := rc.Build(); err != nil {
+		t.Fatalf("reduced ladder does not build: %v", err)
+	}
+	// Total resistance and capacitance are conserved by lumping.
+	totR, totC := 0.0, 0.0
+	for _, d := range rc.Devices() {
+		switch x := d.(type) {
+		case *device.Resistor:
+			totR += x.R
+		case *device.Capacitor:
+			totC += x.C
+		}
+	}
+	wantR := 101 * 10.0 // 100 segment resistors + Rout
+	wantC := 100*20e-15 + 50e-15
+	if math.Abs(totR-wantR) > 1e-9 || math.Abs(totC-wantC)/wantC > 1e-12 {
+		t.Fatalf("conservation: R=%g (want %g) C=%g (want %g)", totR, wantR, totC, wantC)
+	}
+	// Every suppressed node must have an expansion over retained nodes.
+	for o := 0; o < c.NumNodes(); o++ {
+		if info.NodeMap[o] >= 0 {
+			continue
+		}
+		if len(info.Expansion[o]) == 0 {
+			t.Fatalf("suppressed node %s has no expansion", c.NodeName(o))
+		}
+		for _, term := range info.Expansion[o] {
+			if term.Node < 0 || term.Node >= rc.NumNodes() {
+				t.Fatalf("expansion of %s references bad node %d", c.NodeName(o), term.Node)
+			}
+		}
+	}
+}
+
+func TestExactModeLadderIsNoop(t *testing.T) {
+	c := circuits.RCLadder(50)
+	rc, info, err := reduce.Reduce(c, reduce.Options{Tol: 0, Keep: []string{"out"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc != c || info != nil {
+		t.Fatal("exact mode on a pure ladder must be a no-op returning the original circuit")
+	}
+}
+
+func TestGridIsNoop(t *testing.T) {
+	// Every power-grid node touches >= 4 devices: nothing is reducible.
+	c := circuits.PowerGridMesh(8, 1.0)
+	rc, info, err := reduce.Reduce(c, reduce.Options{Tol: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc != c || info != nil {
+		t.Fatal("grid reduction must be a no-op")
+	}
+}
+
+func TestUnknownKeepNodeFails(t *testing.T) {
+	c := circuits.RCLadder(10)
+	_, _, err := reduce.Reduce(c, reduce.Options{Keep: []string{"nosuchnode"}})
+	var une *reduce.UnknownNodeError
+	if !errors.As(err, &une) {
+		t.Fatalf("err = %v, want *reduce.UnknownNodeError", err)
+	}
+	if une.Node != "nosuchnode" {
+		t.Fatalf("error names %q, want nosuchnode", une.Node)
+	}
+}
+
+func TestKeepNodeProtected(t *testing.T) {
+	c := circuits.RCLadder(100)
+	rc, info, err := reduce.Reduce(c, reduce.Options{Tol: 0.02, Keep: []string{"out", "n50"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc == c {
+		t.Fatal("ladder should still reduce around the protected node")
+	}
+	if _, ok := rc.FindNode("n50"); !ok {
+		t.Fatal("protected node n50 was collapsed")
+	}
+	idx, _ := c.FindNode("n50")
+	if info.NodeMap[idx] < 0 {
+		t.Fatal("NodeMap says n50 was suppressed")
+	}
+}
+
+func TestKeepDevicesProtected(t *testing.T) {
+	c := circuits.RCLadder(100)
+	rc, _, err := reduce.Reduce(c, reduce.Options{Tol: 0.02, Keep: []string{"out"}, KeepDevices: []string{"R50"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R50 joins n49 and n50; both terminals must survive for lane overrides.
+	for _, name := range []string{"n49", "n50"} {
+		if _, ok := rc.FindNode(name); !ok {
+			t.Fatalf("terminal %s of protected device R50 was collapsed", name)
+		}
+	}
+	var r50 *device.Resistor
+	for _, d := range rc.Devices() {
+		if r, ok := d.(*device.Resistor); ok && r.Name() == "R50" {
+			r50 = r
+		}
+	}
+	if r50 == nil || r50.R != 10 {
+		t.Fatal("protected device R50 must survive unmerged")
+	}
+}
+
+func TestPlanAppliesAcrossLanes(t *testing.T) {
+	mk := func(rval float64) *circuit.Circuit {
+		c := circuit.New("lane")
+		in := c.Node("in")
+		prev := in
+		c.Add(device.NewVSource("Vin", in, circuit.Ground, device.DC(1)))
+		for i := 1; i <= 30; i++ {
+			nd := c.Node(fmt.Sprintf("n%d", i))
+			c.Add(device.NewResistor(fmt.Sprintf("R%d", i), prev, nd, rval))
+			c.Add(device.NewCapacitor(fmt.Sprintf("C%d", i), nd, circuit.Ground, 5e-15))
+			prev = nd
+		}
+		out := c.Node("out")
+		c.Add(device.NewResistor("Rout", prev, out, rval))
+		c.Add(device.NewCapacitor("Cout", out, circuit.Ground, 10e-15))
+		return c
+	}
+	ref := mk(10)
+	plan, err := reduce.New(ref, reduce.Options{Tol: 0.02, Keep: []string{"out"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Empty() {
+		t.Fatal("plan should not be empty")
+	}
+	r0, i0, err := plan.Apply(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, i1, err := plan.Apply(mk(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.NumNodes() != r1.NumNodes() {
+		t.Fatalf("lanes diverge structurally: %d vs %d nodes", r0.NumNodes(), r1.NumNodes())
+	}
+	if len(r0.Devices()) != len(r1.Devices()) {
+		t.Fatalf("lanes diverge structurally: %d vs %d devices", len(r0.Devices()), len(r1.Devices()))
+	}
+	if i0.RemovedNodes != i1.RemovedNodes {
+		t.Fatal("lane reduction counters diverge")
+	}
+	// Values track each lane: total lumped R scales with rval.
+	sumR := func(c *circuit.Circuit) float64 {
+		s := 0.0
+		for _, d := range c.Devices() {
+			if r, ok := d.(*device.Resistor); ok {
+				s += r.R
+			}
+		}
+		return s
+	}
+	if math.Abs(sumR(r1)/sumR(r0)-2.5) > 1e-12 {
+		t.Fatalf("lane values not recomputed: sumR ratio = %g, want 2.5", sumR(r1)/sumR(r0))
+	}
+	// Mismatched topology is rejected.
+	if _, _, err := plan.Apply(circuits.RCLadder(10)); err == nil {
+		t.Fatal("Apply on a mismatched circuit must fail")
+	}
+}
+
+func TestNonRenoderDisablesPass(t *testing.T) {
+	// A switch holds time-varying topology; its presence must disable the
+	// pass for the whole circuit even though reducible structure exists.
+	c := seriesChain()
+	x := c.Node("x")
+	c.Add(device.NewSwitch("S1", x, circuit.Ground, x, circuit.Ground, device.DefaultSwitchModel()))
+	c.Add(device.NewResistor("Rx", c.Node("out"), x, 10))
+	rc, info, err := reduce.Reduce(c, reduce.Options{Tol: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc != c || info != nil {
+		t.Fatal("circuit with a Switch must not be reduced")
+	}
+}

@@ -222,6 +222,12 @@ type Stats struct {
 	WindowsLaunched int64
 	PararealIters   int64
 	WindowRedos     int64
+	// Parasitic-reduction accounting, filled by the facade when the
+	// internal/reduce pass shrank the system before this run: original
+	// nodes and devices the pass suppressed. Like the scheduling fields,
+	// they describe the run rather than per-worker work.
+	ReducedNodes   int64
+	ReducedDevices int64
 }
 
 // Add accumulates other into s (used to merge per-worker stats).
@@ -258,6 +264,12 @@ func (s *Stats) Add(other Stats) {
 	s.WindowsLaunched += other.WindowsLaunched
 	s.PararealIters += other.PararealIters
 	s.WindowRedos += other.WindowRedos
+	if other.ReducedNodes > s.ReducedNodes {
+		s.ReducedNodes = other.ReducedNodes
+	}
+	if other.ReducedDevices > s.ReducedDevices {
+		s.ReducedDevices = other.ReducedDevices
+	}
 }
 
 // Result is the outcome of a transient analysis. On failure the engines

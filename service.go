@@ -141,7 +141,15 @@ func (s *Service) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
 	if err := managedFieldsZero(spec.Options); err != nil {
 		return JobStatus{}, err
 	}
-	entry, hit, err := s.cache.Compile(spec.Deck)
+	// Reduction shapes the compiled System, so it is part of the artifact
+	// identity: the keep list folds in every node the job can observe or
+	// seed (the deck's own .PRINT/.IC/.NODESET references are added by the
+	// cache itself).
+	entry, hit, err := s.cache.Compile(spec.Deck, artifact.BuildOptions{
+		Reduce:     spec.Options.Reduce,
+		ReduceTol:  spec.Options.ReduceTol,
+		ReduceKeep: reduceKeepList(spec.Options),
+	})
 	if err != nil {
 		return JobStatus{}, err
 	}

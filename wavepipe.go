@@ -32,6 +32,7 @@ import (
 	"wavepipe/internal/faults"
 	"wavepipe/internal/integrate"
 	"wavepipe/internal/netlist"
+	"wavepipe/internal/reduce"
 	"wavepipe/internal/trace"
 	"wavepipe/internal/transient"
 	"wavepipe/internal/waveform"
@@ -315,6 +316,14 @@ func (d *Deck) ApplyTo(opts TranOptions) (TranOptions, error) {
 	if len(d.NodeSets) > 0 && opts.NodeSet == nil {
 		opts.NodeSet = d.NodeSets
 	}
+	if len(d.Prints) > 0 {
+		// Nodes the deck asks to print must survive the reduction pass;
+		// appending is additive, so explicit ReduceKeep entries also stay.
+		merged := make([]string, 0, len(opts.ReduceKeep)+len(d.Prints))
+		merged = append(merged, opts.ReduceKeep...)
+		merged = append(merged, d.Prints...)
+		opts.ReduceKeep = merged
+	}
 	return opts, nil
 }
 
@@ -503,7 +512,37 @@ type TranOptions struct {
 	// re-emit points restored from the checkpoint. This is the hook the
 	// service's streaming endpoint is built on.
 	OnAccept func(t float64, row []float64)
+	// Reduce enables the structure-exploiting parasitic reduction pass
+	// (internal/reduce) before the system is simulated: series R/L chains
+	// are merged exactly and uniform RC-ladder segments are lumped into
+	// low-order sections under the ReduceTol error budget, shrinking the
+	// MNA dimension every downstream engine works on. Nodes named by
+	// Record, ReduceKeep, IC, NodeSet or deck .PRINT cards are never
+	// collapsed; suppressed node waveforms are reconstructed through the
+	// expansion map when Record is nil. Circuits containing devices the
+	// pass cannot analyze (current-controlled sources, mutual inductors,
+	// switches) are left untouched. false (the default) keeps runs
+	// bit-identical to earlier releases.
+	Reduce bool
+	// ReduceTol is the waveform error budget for the lossy ladder-lumping
+	// transform when Reduce is set. 0 selects exact mode: only
+	// error-free series merges are applied. The CLI default is
+	// DefaultReduceTol.
+	ReduceTol float64
+	// ReduceKeep lists additional node names that must survive reduction
+	// (beyond Record/IC/NodeSet and deck .PRINT references). Naming an
+	// unknown node fails the run with a typed *ReduceUnknownNodeError.
+	ReduceKeep []string
 }
+
+// DefaultReduceTol is the ladder-lumping error budget the CLI applies when
+// -reduce is given without -reduce-tol: roughly 8 lumped sections, keeping
+// waveform deviations comfortably inside the suite's 5% equivalence bar.
+const DefaultReduceTol = 0.02
+
+// ReduceUnknownNodeError is the typed error returned when reduction is
+// asked to preserve a node the circuit does not define.
+type ReduceUnknownNodeError = reduce.UnknownNodeError
 
 // validate rejects option values that would otherwise flow silently into
 // the engines and corrupt a run (the engines clamp what they can, but
@@ -578,6 +617,12 @@ func (o TranOptions) validate() error {
 	if math.IsNaN(o.CoarseOpts.Gate) || o.CoarseOpts.Gate < 0 {
 		return fmt.Errorf("wavepipe: CoarseOpts.Gate must not be negative or NaN (got %g)", o.CoarseOpts.Gate)
 	}
+	if math.IsNaN(o.ReduceTol) || o.ReduceTol < 0 {
+		return fmt.Errorf("wavepipe: ReduceTol must not be negative or NaN (got %g)", o.ReduceTol)
+	}
+	if o.ReduceTol >= 1 {
+		return fmt.Errorf("wavepipe: ReduceTol %g is not a plausible error budget (must be below 1)", o.ReduceTol)
+	}
 	if o.Windows > 1 &&
 		(o.CheckpointPath != "" || o.ResumeFrom != "" || o.Deadline > 0 || o.StallFactor > 0) {
 		return fmt.Errorf("wavepipe: Windows is incompatible with the durability options (CheckpointPath, ResumeFrom, Deadline, StallFactor): a time-parallel run has no single linear engine state to checkpoint")
@@ -620,6 +665,11 @@ func RunTransientCtx(ctx context.Context, sys *System, opts TranOptions) (*Resul
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
+	rsys, err := reduceSystem(sys, opts)
+	if err != nil {
+		return nil, err
+	}
+	sys = rsys
 	base, err := baseOptions(sys, opts)
 	if err != nil {
 		return nil, err
@@ -655,7 +705,98 @@ func RunTransientCtx(ctx context.Context, sys *System, opts TranOptions) (*Resul
 		// partial result) still salvages the last snapshot the guard kept.
 		res = transient.SalvageResult(ctl.Retained())
 	}
+	finishReduced(sys, opts, res)
 	return res, err
+}
+
+// reduceSystem runs the parasitic-reduction pass when opts asks for it and
+// sys has not been through it already (the artifact cache attaches the
+// reduction record to cached systems, including a no-op marker, so cached
+// entries are never reduced twice). The keep list protects every node the
+// caller can observe or seed: Record, ReduceKeep, IC and NodeSet names.
+// When the pass is a no-op the original compiled System is returned
+// unchanged, preserving bit-identical results.
+func reduceSystem(sys *System, opts TranOptions) (*System, error) {
+	if !opts.Reduce || sys.Reduction() != nil {
+		return sys, nil
+	}
+	keep := reduceKeepList(opts)
+	rc, ri, err := reduce.Reduce(sys.Circuit, reduce.Options{Tol: opts.ReduceTol, Keep: keep})
+	if err != nil {
+		return nil, err
+	}
+	if ri == nil {
+		return sys, nil
+	}
+	rsys, err := rc.Build()
+	if err != nil {
+		return nil, fmt.Errorf("wavepipe: reduced circuit failed to build: %w", err)
+	}
+	rsys.SetReduction(ri)
+	return rsys, nil
+}
+
+// reduceKeepList collects every node name reduction must preserve for the
+// run to be observationally equivalent to the unreduced one.
+func reduceKeepList(opts TranOptions) []string {
+	keep := make([]string, 0, len(opts.Record)+len(opts.ReduceKeep)+len(opts.IC)+len(opts.NodeSet))
+	keep = append(keep, opts.Record...)
+	keep = append(keep, opts.ReduceKeep...)
+	for name := range opts.IC {
+		keep = append(keep, name)
+	}
+	for name := range opts.NodeSet {
+		keep = append(keep, name)
+	}
+	return keep
+}
+
+// finishReduced fills the reduction counters on a finished run and, for
+// default recording, expands the reduced waveform back onto the full
+// original node set so callers see the same signals with and without
+// Reduce.
+func finishReduced(sys *System, opts TranOptions, res *Result) {
+	ri := sys.Reduction()
+	if ri == nil || res == nil {
+		return
+	}
+	res.Stats.ReducedNodes = int64(ri.RemovedNodes)
+	res.Stats.ReducedDevices = int64(ri.RemovedDevices)
+	if ri.RemovedNodes == 0 || opts.Record != nil || res.W == nil {
+		return
+	}
+	res.W = expandSet(ri, res.W)
+}
+
+// expandSet reconstructs the suppressed node waveforms of a default-record
+// result: the reduced engine recorded every reduced node voltage in node
+// order, so column j is reduced node j and each original node is an affine
+// combination of columns. Sets with any other shape (partial salvage,
+// custom recording) are returned unchanged.
+func expandSet(ri *circuit.ReducedInfo, w *waveform.Set) *waveform.Set {
+	nRed := len(ri.OrigNodes) - ri.RemovedNodes
+	if len(w.Names) != nRed {
+		return w
+	}
+	names := make([]string, len(ri.OrigNodes))
+	index := make([]int, len(ri.OrigNodes))
+	copy(names, ri.OrigNodes)
+	for o := range index {
+		index[o] = o
+	}
+	data := make([][]float64, len(w.Data))
+	for k, row := range w.Data {
+		out := make([]float64, len(names))
+		for o := range names {
+			out[o] = ri.ExpandValue(o, row)
+		}
+		data[k] = out
+	}
+	ns, err := waveform.Restore(names, index, w.Times, data)
+	if err != nil {
+		return w
+	}
+	return ns
 }
 
 // runEngine dispatches to the selected engine with panic containment: a

@@ -59,6 +59,12 @@ type TranOptions struct {
 	CoarseTolScale float64 `json:"coarseTolScale,omitempty"`
 	WindowGate     float64 `json:"windowGate,omitempty"`
 	WindowStrict   bool    `json:"windowStrict,omitempty"`
+	// Parasitic-reduction configuration. Additive since schemaVersion 1:
+	// absent fields mean no reduction, so documents from older peers decode
+	// unchanged.
+	Reduce     bool     `json:"reduce,omitempty"`
+	ReduceTol  float64  `json:"reduceTol,omitempty"`
+	ReduceKeep []string `json:"reduceKeep,omitempty"`
 }
 
 // FromTranOptions converts facade options to their wire form.
@@ -86,6 +92,9 @@ func FromTranOptions(o wavepipe.TranOptions) TranOptions {
 		CoarseTolScale:   o.CoarseOpts.TolScale,
 		WindowGate:       o.CoarseOpts.Gate,
 		WindowStrict:     o.CoarseOpts.Strict,
+		Reduce:           o.Reduce,
+		ReduceTol:        o.ReduceTol,
+		ReduceKeep:       o.ReduceKeep,
 	}
 	if o.Scheme != wavepipe.Serial {
 		w.Scheme = o.Scheme.String()
@@ -124,6 +133,9 @@ func (w TranOptions) ToTranOptions() (wavepipe.TranOptions, error) {
 		SnapshotEvery:    w.SnapshotEvery,
 		StallFactor:      w.StallFactor,
 		Windows:          w.Windows,
+		Reduce:           w.Reduce,
+		ReduceTol:        w.ReduceTol,
+		ReduceKeep:       w.ReduceKeep,
 		CoarseOpts: wavepipe.CoarseOptions{
 			Steps:    w.CoarseSteps,
 			TolScale: w.CoarseTolScale,
@@ -194,6 +206,10 @@ type Stats struct {
 	WindowsLaunched        int64 `json:"windowsLaunched"`
 	PararealIters          int64 `json:"pararealIters"`
 	WindowRedos            int64 `json:"windowRedos"`
+	// Parasitic-reduction counters. Additive since schemaVersion 1
+	// (omitempty: absent means the run was not reduced).
+	ReducedNodes   int64 `json:"reducedNodes,omitempty"`
+	ReducedDevices int64 `json:"reducedDevices,omitempty"`
 }
 
 // FromStats converts engine statistics to their wire form.
@@ -223,6 +239,8 @@ func FromStats(s wavepipe.Stats) Stats {
 		WindowsLaunched:        s.WindowsLaunched,
 		PararealIters:          s.PararealIters,
 		WindowRedos:            s.WindowRedos,
+		ReducedNodes:           s.ReducedNodes,
+		ReducedDevices:         s.ReducedDevices,
 	}
 }
 
@@ -253,6 +271,8 @@ func (w Stats) ToStats() wavepipe.Stats {
 		WindowsLaunched:        w.WindowsLaunched,
 		PararealIters:          w.PararealIters,
 		WindowRedos:            w.WindowRedos,
+		ReducedNodes:           w.ReducedNodes,
+		ReducedDevices:         w.ReducedDevices,
 	}
 }
 
